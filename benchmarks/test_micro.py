@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the analysis primitives.
+
+Not a paper table; these time the substrate pieces (entailment, ranking
+synthesis, full worked-example inference) so performance regressions in
+the core are visible independently of the Fig. 10/11 sweeps.
+"""
+
+from repro.arith.formula import atom_eq, atom_ge, atom_lt, conj
+from repro.arith.solver import clear_caches, entails, is_sat
+from repro.arith.terms import var
+from repro.core import infer_source
+from repro.core.ranking import RankSynthesizer
+from repro.core.reachgraph import Edge
+
+FOO = """
+void foo(int x, int y)
+{ if (x < 0) { return; } else { foo(x + y, y); return; } }
+"""
+
+GCD = """
+int gcd(int a, int b)
+  requires a > 0 && b > 0 ensures res > 0;
+{
+  if (a == b) { return a; }
+  else { if (a > b) { return gcd(a - b, b); }
+         else { return gcd(a, b - a); } }
+}
+"""
+
+x, y = var("x"), var("y")
+
+
+def test_bench_entailment(benchmark):
+    ctx = conj(
+        atom_ge(x, 0), atom_lt(y, 0),
+        atom_eq(var("x'"), x + y), atom_eq(var("y'"), y),
+    )
+    goal = atom_lt(var("x'"), x)
+
+    def run():
+        clear_caches()
+        return entails(ctx, goal)
+
+    assert benchmark(run)
+
+
+def test_bench_sat_disjunctive(benchmark):
+    from repro.arith.formula import disj
+
+    f = conj(
+        disj(atom_ge(x, 0), atom_lt(x, -5)),
+        disj(atom_ge(y, 3), atom_lt(y, 0)),
+        atom_eq(var("z"), x + y),
+    )
+
+    def run():
+        clear_caches()
+        return is_sat(f)
+
+    assert benchmark(run)
+
+
+def test_bench_ranking_synthesis(benchmark):
+    ctx = conj(
+        atom_ge(x, 0), atom_lt(y, 0),
+        atom_eq(var("x'"), x + y), atom_eq(var("y'"), y),
+        atom_ge(var("x'"), 0),
+    )
+    edge = Edge("U", "U", ctx, ("x", "y"), ("x'", "y'"))
+
+    def run():
+        s = RankSynthesizer({"U": ("x", "y")})
+        return s.synthesize_linear(["U"], [edge])
+
+    assert benchmark(run) is not None
+
+
+def test_bench_full_foo_inference(benchmark):
+    def run():
+        clear_caches()
+        return infer_source(FOO)
+
+    result = benchmark(run)
+    assert len(result.specs["foo"].cases) == 3
+
+
+def test_bench_full_gcd_inference(benchmark):
+    def run():
+        clear_caches()
+        return infer_source(GCD)
+
+    result = benchmark(run)
+    assert result.specs["gcd"] is not None

@@ -1,0 +1,42 @@
+"""Conditional termination vs monolithic proving.
+
+Runs both the HipTNT+ inference and the baseline analyzers on a small
+program with mixed behaviour, showing *why* the paper's per-method
+case-split summaries answer programs that whole-program ranking proofs
+cannot.
+
+Run:  python examples/conditional_termination.py
+"""
+
+from repro.baselines import AProVELikeAnalyzer, UltimateLikeAnalyzer
+from repro.core import infer_source
+from repro.lang import parse_program
+
+SOURCE = """
+void drain(int x, int step) {
+  while (x > 0) { x = x - step; }
+}
+"""
+
+
+def main() -> None:
+    print("Program: while (x > 0) x -= step;  -- terminates iff step >= 1\n")
+
+    result = infer_source(SOURCE)
+    loop_summary = next(
+        spec for name, spec in result.specs.items() if "loop" in name
+    )
+    print("HipTNT+ summary of the loop:")
+    print(loop_summary.pretty())
+
+    program = parse_program(SOURCE)
+    print("\nBaseline verdicts on the whole program:")
+    print("  AProVE-like   :", AProVELikeAnalyzer().analyze(program),
+          "(cannot prove termination for ALL inputs -- no case analysis)")
+    print("  ULTIMATE-like :", UltimateLikeAnalyzer().analyze(program))
+    print("  HIPTNT+       :", result.verdict("drain"),
+          "(a diverging input region was isolated, so the answer is definite)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,314 @@
+"""Fourier-Motzkin elimination over conjunctions of linear atoms.
+
+This is the engine behind satisfiability, entailment and projection in
+:mod:`repro.arith.solver`.  All arithmetic is exact.  Every derived
+inequality is re-normalised through the integer-tightening constructor in
+:mod:`repro.arith.formula`, which gives a cheap approximation of the Omega
+test's dark shadow: single-variable divisibility gaps are closed, so the
+procedure is exact on the unit-coefficient (difference-bound-like) fragment
+that dominates the paper's verification conditions.  In general it remains a
+*sound* UNSAT test for integer constraints (rational UNSAT implies integer
+UNSAT).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.arith.formula import Atom, BoolConst, FALSE, Rel, TRUE, _atom_or_const
+from repro.arith.terms import LinExpr
+
+
+class Unsat(Exception):
+    """Raised internally when a cube is discovered to be contradictory."""
+
+
+def _check_const(atom: Atom) -> Optional[Atom]:
+    """Fold a constant atom to None (true) or raise :class:`Unsat`."""
+    if atom.expr.is_constant():
+        value = atom.expr.constant
+        ok = value <= 0 if atom.rel is Rel.LE else value == 0
+        if not ok:
+            raise Unsat()
+        return None
+    return atom
+
+
+def _renorm(expr: LinExpr, rel: Rel) -> Optional[Atom]:
+    """Rebuild an atom through the integer-tightening smart constructor."""
+    f = _atom_or_const(expr, rel)
+    if isinstance(f, BoolConst):
+        if not f.value:
+            raise Unsat()
+        return None
+    assert isinstance(f, Atom)
+    return f
+
+
+def substitute_equalities(
+    atoms: Sequence[Atom],
+    record: Optional[List[Tuple[str, LinExpr]]] = None,
+) -> List[Atom]:
+    """Use equality atoms to substitute variables away (Gaussian style).
+
+    Returns an equisatisfiable cube in which remaining equalities mention
+    only variables that could not be isolated (none, for linear systems).
+    When *record* is given, each performed substitution ``name := expr``
+    is appended to it (in application order) so callers can reconstruct
+    the eliminated variables from a model of the residue.
+    Raises :class:`Unsat` on contradiction.
+    """
+    eqs = [a for a in atoms if a.rel is Rel.EQ]
+    les = [a for a in atoms if a.rel is Rel.LE]
+    solved: List[Atom] = []
+    while eqs:
+        eq = eqs.pop()
+        folded = _check_const(eq)
+        if folded is None:
+            continue
+        expr = folded.expr
+        # pick the variable with coefficient of smallest absolute value to
+        # keep numbers small; any choice is correct
+        name, coeff = min(expr.coeffs.items(), key=lambda kv: abs(kv[1]))
+        # name = -(expr - coeff*name)/coeff
+        rest = expr - LinExpr({name: coeff})
+        replacement = rest.scale(Fraction(-1, 1) / coeff)
+        if record is not None:
+            record.append((name, replacement))
+        mapping = {name: replacement}
+        new_eqs: List[Atom] = []
+        for a in eqs:
+            r = _renorm(a.expr.substitute(mapping), Rel.EQ)
+            if r is not None:
+                new_eqs.append(r)
+        eqs = new_eqs
+        new_les: List[Atom] = []
+        for a in les:
+            r = _renorm(a.expr.substitute(mapping), Rel.LE)
+            if r is not None:
+                new_les.append(r)
+        les = new_les
+        solved = [
+            s
+            for s in (
+                _renorm(a.expr.substitute(mapping), a.rel) for a in solved
+            )
+            if s is not None
+        ]
+        solved.append(folded)
+    return solved + les
+
+
+def _partition_by_var(
+    atoms: Sequence[Atom], name: str
+) -> Tuple[List[Atom], List[Atom], List[Atom]]:
+    """Split LE atoms into (lower bounds, upper bounds, unrelated)."""
+    lowers: List[Atom] = []
+    uppers: List[Atom] = []
+    rest: List[Atom] = []
+    for a in atoms:
+        c = a.expr.coeff(name)
+        if c == 0:
+            rest.append(a)
+        elif c > 0:
+            uppers.append(a)  # c*v + r <= 0  => v <= -r/c
+        else:
+            lowers.append(a)  # -c*v + r <= 0 => v >= r/(-c)
+    return lowers, uppers, rest
+
+
+def eliminate_var(atoms: Sequence[Atom], name: str) -> List[Atom]:
+    """Eliminate *name* from a cube of LE atoms by Fourier-Motzkin.
+
+    Equalities must have been substituted away first.  Raises
+    :class:`Unsat` when a contradiction becomes constant.
+    """
+    lowers, uppers, rest = _partition_by_var(atoms, name)
+    out = list(rest)
+    for lo in lowers:
+        cl = -lo.expr.coeff(name)  # positive
+        for up in uppers:
+            cu = up.expr.coeff(name)  # positive
+            # cl * up + cu * lo eliminates name
+            combined = up.expr.scale(cl) + lo.expr.scale(cu)
+            r = _renorm(combined, Rel.LE)
+            if r is not None:
+                out.append(r)
+    return _dedup(out)
+
+
+def _dedup(atoms: Iterable[Atom]) -> List[Atom]:
+    seen: Set[Atom] = set()
+    out: List[Atom] = []
+    for a in atoms:
+        if a not in seen:
+            seen.add(a)
+            out.append(a)
+    return out
+
+
+def _elimination_order(atoms: Sequence[Atom], names: Set[str]) -> List[str]:
+    """Cheapest-first heuristic: eliminate the variable that produces the
+    fewest combined constraints."""
+    order: List[str] = []
+    remaining = set(names)
+    current = list(atoms)
+    while remaining:
+        best = None
+        best_cost = None
+        for n in remaining:
+            lowers, uppers, _ = _partition_by_var(current, n)
+            cost = len(lowers) * len(uppers)
+            if best_cost is None or cost < best_cost:
+                best, best_cost = n, cost
+        assert best is not None
+        order.append(best)
+        remaining.discard(best)
+    return order
+
+
+def project_cube(atoms: Sequence[Atom], keep: Optional[Set[str]] = None,
+                 eliminate: Optional[Set[str]] = None) -> List[Atom]:
+    """Project a cube onto *keep* (or eliminate *eliminate*).
+
+    Exactly one of *keep*/*eliminate* must be given.  Raises
+    :class:`Unsat` when the cube is contradictory.
+    """
+    if (keep is None) == (eliminate is None):
+        raise ValueError("specify exactly one of keep= or eliminate=")
+    cube = substitute_equalities(list(atoms))
+    free: Set[str] = set()
+    for a in cube:
+        free |= a.expr.variables()
+    targets = (free - keep) if keep is not None else (free & set(eliminate or ()))
+    # Equalities that survived substitution and still mention targets cannot
+    # exist for a linear system; but guard anyway by downgrading them.
+    les: List[Atom] = []
+    for a in cube:
+        if a.rel is Rel.EQ:
+            if a.expr.variables() & targets:
+                les.append(Atom(a.expr, Rel.LE))
+                les.append(Atom(-a.expr, Rel.LE))
+            else:
+                les.append(a)
+        else:
+            les.append(a)
+    eq_kept = [a for a in les if a.rel is Rel.EQ]
+    ineqs = [a for a in les if a.rel is Rel.LE]
+    for name in _elimination_order(ineqs, targets):
+        ineqs = eliminate_var(ineqs, name)
+    return _dedup(eq_kept + ineqs)
+
+
+_CUBE_SAT_CACHE: dict = {}
+_CUBE_CACHE_LIMIT = 500_000
+
+
+def cube_is_sat(atoms: Sequence[Atom]) -> bool:
+    """Satisfiability of a conjunction of atoms (integer-tightened FM).
+
+    Results are memoised on the atom set -- the inference re-checks the
+    same contexts many times across specialisation iterations.
+    """
+    key = frozenset(atoms)
+    cached = _CUBE_SAT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = _cube_is_sat(atoms)
+    if len(_CUBE_SAT_CACHE) < _CUBE_CACHE_LIMIT:
+        _CUBE_SAT_CACHE[key] = result
+    return result
+
+
+def _cube_is_sat(atoms: Sequence[Atom]) -> bool:
+    try:
+        cube = substitute_equalities(list(atoms))
+        free: Set[str] = set()
+        for a in cube:
+            free |= a.expr.variables()
+        ineqs = []
+        for a in cube:
+            if a.rel is Rel.EQ:
+                # only var-free equalities can remain; _check_const folded them
+                ineqs.append(Atom(a.expr, Rel.LE))
+                ineqs.append(Atom(-a.expr, Rel.LE))
+            else:
+                ineqs.append(a)
+        for name in _elimination_order(ineqs, free):
+            ineqs = eliminate_var(ineqs, name)
+        # all remaining atoms are constant-free-variable (none) -> checked in
+        # _renorm; reaching here means no contradiction was found
+        return True
+    except Unsat:
+        return False
+
+
+def cube_model(atoms: Sequence[Atom]) -> Optional[Dict[str, Fraction]]:
+    """Produce a (rational) model of a satisfiable cube by back-substitution.
+
+    Returns ``None`` when the cube is unsatisfiable.  Values are chosen
+    integral whenever the interval permits.
+    """
+    record: List[Tuple[str, LinExpr]] = []
+    try:
+        cube = substitute_equalities(list(atoms), record=record)
+    except Unsat:
+        return None
+    eq_atoms = [a for a in cube if a.rel is Rel.EQ]
+    ineqs = [a for a in cube if a.rel is Rel.LE]
+    free: Set[str] = set()
+    for a in cube:
+        free |= a.expr.variables()
+    order = _elimination_order(ineqs, free)
+    stack: List[Tuple[str, List[Atom]]] = []
+    current = ineqs
+    try:
+        for name in order:
+            stack.append((name, current))
+            current = eliminate_var(current, name)
+    except Unsat:
+        return None
+    env: Dict[str, Fraction] = {}
+    for name, constraints in reversed(stack):
+        lowers, uppers, _ = _partition_by_var(constraints, name)
+        lo_val: Optional[Fraction] = None
+        up_val: Optional[Fraction] = None
+        for a in lowers:
+            c = a.expr.coeff(name)
+            rest = (a.expr - LinExpr({name: c})).evaluate(env)
+            bound = rest / (-c)  # v >= bound
+            lo_val = bound if lo_val is None else max(lo_val, bound)
+        for a in uppers:
+            c = a.expr.coeff(name)
+            rest = (a.expr - LinExpr({name: c})).evaluate(env)
+            bound = -rest / c  # v <= bound
+            up_val = bound if up_val is None else min(up_val, bound)
+        env[name] = _pick_value(lo_val, up_val)
+    # Recover the variables eliminated through equalities, in reverse
+    # substitution order (later substitutions may mention earlier names).
+    for name, expr in reversed(record):
+        for v in expr.variables():
+            env.setdefault(v, Fraction(0))
+        env[name] = expr.evaluate(env)
+    for a in eq_atoms:
+        for m in a.expr.variables() - set(env):
+            env[m] = Fraction(0)
+    return env
+
+
+def _pick_value(lo: Optional[Fraction], up: Optional[Fraction]) -> Fraction:
+    import math
+
+    if lo is None and up is None:
+        return Fraction(0)
+    if lo is None:
+        assert up is not None
+        return Fraction(math.floor(up))
+    if up is None:
+        return Fraction(math.ceil(lo))
+    # prefer an integer point in [lo, up] when one exists
+    c = math.ceil(lo)
+    if Fraction(c) <= up:
+        return Fraction(c)
+    return (lo + up) / 2

@@ -1,0 +1,564 @@
+"""Quantifier-free formulas over linear integer arithmetic (plus ``exists``).
+
+All atoms are normalised to one of two shapes over integer variables:
+
+* ``e <= 0``  (relation :data:`Rel.LE`)
+* ``e == 0``  (relation :data:`Rel.EQ`)
+
+Strict comparisons are integer-tightened at construction time:
+``e < 0`` becomes ``e + 1 <= 0``.  This makes Fourier-Motzkin elimination
+exact on the (integer) fragment the paper's verification conditions use far
+more often than a rational relaxation would be.
+
+Formulas are immutable trees built by the smart constructors :func:`conj`,
+:func:`disj`, :func:`neg` and :func:`exists`, which perform cheap
+simplifications (flattening, unit laws, constant folding).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from repro.arith.terms import Coeff, LinExpr, to_linexpr
+
+
+class Rel(enum.Enum):
+    """Relation of a normalised atom against zero."""
+
+    LE = "<="
+    EQ = "=="
+
+
+class Formula:
+    """Base class for all formula nodes."""
+
+    __slots__ = ()
+
+    def free_vars(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Formula":
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, LinExpr]) -> "Formula":
+        raise NotImplementedError
+
+    def evaluate(self, env: Mapping[str, Coeff]) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return conj(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disj(self, other)
+
+    def __invert__(self) -> "Formula":
+        return neg(self)
+
+
+class BoolConst(Formula):
+    """``true`` or ``false``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        object.__setattr__(self, "value", bool(value))
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("BoolConst is immutable")
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Formula":
+        return self
+
+    def substitute(self, mapping: Mapping[str, LinExpr]) -> "Formula":
+        return self
+
+    def evaluate(self, env: Mapping[str, Coeff]) -> bool:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BoolConst) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("bool", self.value))
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+class Atom(Formula):
+    """A normalised linear atom ``expr <= 0`` or ``expr == 0``."""
+
+    __slots__ = ("expr", "rel", "_hash")
+
+    def __init__(self, expr: LinExpr, rel: Rel):
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "rel", rel)
+        object.__setattr__(self, "_hash", hash(("atom", expr, rel)))
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("Atom is immutable")
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.expr.variables()
+
+    def rename(self, mapping: Mapping[str, str]) -> "Formula":
+        return Atom(self.expr.rename(mapping), self.rel)
+
+    def substitute(self, mapping: Mapping[str, LinExpr]) -> "Formula":
+        return _atom_or_const(self.expr.substitute(mapping), self.rel)
+
+    def evaluate(self, env: Mapping[str, Coeff]) -> bool:
+        value = self.expr.evaluate(env)
+        return value <= 0 if self.rel is Rel.LE else value == 0
+
+    def negated(self) -> Formula:
+        """Integer-exact negation of this atom."""
+        if self.rel is Rel.LE:
+            # not(e <= 0)  <=>  e >= 1  <=>  -e + 1 <= 0
+            return _atom_or_const(-self.expr + 1, Rel.LE)
+        # not(e == 0)  <=>  e <= -1  or  e >= 1
+        return disj(
+            _atom_or_const(self.expr + 1, Rel.LE),
+            _atom_or_const(-self.expr + 1, Rel.LE),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self.rel == other.rel
+            and self.expr == other.expr
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"({self.expr} {self.rel.value} 0)"
+
+
+class NaryOp(Formula):
+    """Shared behaviour of :class:`And` and :class:`Or`."""
+
+    __slots__ = ("args", "_hash")
+    _tag = "nary"
+
+    def __init__(self, args: Sequence[Formula]):
+        object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "_hash", hash((self._tag, self.args)))
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("formula nodes are immutable")
+
+    def free_vars(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for a in self.args:
+            out |= a.free_vars()
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.args == other.args
+
+    def __hash__(self) -> int:
+        return self._hash
+
+
+class And(NaryOp):
+    __slots__ = ()
+    _tag = "and"
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        return conj(*(a.rename(mapping) for a in self.args))
+
+    def substitute(self, mapping: Mapping[str, LinExpr]) -> Formula:
+        return conj(*(a.substitute(mapping) for a in self.args))
+
+    def evaluate(self, env: Mapping[str, Coeff]) -> bool:
+        return all(a.evaluate(env) for a in self.args)
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(map(repr, self.args)) + ")"
+
+
+class Or(NaryOp):
+    __slots__ = ()
+    _tag = "or"
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        return disj(*(a.rename(mapping) for a in self.args))
+
+    def substitute(self, mapping: Mapping[str, LinExpr]) -> Formula:
+        return disj(*(a.substitute(mapping) for a in self.args))
+
+    def evaluate(self, env: Mapping[str, Coeff]) -> bool:
+        return any(a.evaluate(env) for a in self.args)
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(map(repr, self.args)) + ")"
+
+
+class Not(Formula):
+    __slots__ = ("arg", "_hash")
+
+    def __init__(self, arg: Formula):
+        object.__setattr__(self, "arg", arg)
+        object.__setattr__(self, "_hash", hash(("not", arg)))
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("formula nodes are immutable")
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.arg.free_vars()
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        return neg(self.arg.rename(mapping))
+
+    def substitute(self, mapping: Mapping[str, LinExpr]) -> Formula:
+        return neg(self.arg.substitute(mapping))
+
+    def evaluate(self, env: Mapping[str, Coeff]) -> bool:
+        return not self.arg.evaluate(env)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.arg == other.arg
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"~{self.arg!r}"
+
+
+class Exists(Formula):
+    """Existential quantification over a tuple of variables."""
+
+    __slots__ = ("bound", "body", "_hash")
+
+    def __init__(self, bound: Sequence[str], body: Formula):
+        object.__setattr__(self, "bound", tuple(sorted(set(bound))))
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "_hash", hash(("exists", self.bound, body)))
+
+    def __setattr__(self, *a):  # pragma: no cover - immutability guard
+        raise AttributeError("formula nodes are immutable")
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.body.free_vars() - frozenset(self.bound)
+
+    def rename(self, mapping: Mapping[str, str]) -> Formula:
+        safe = {k: v for k, v in mapping.items() if k not in self.bound}
+        if any(v in self.bound for v in safe.values()):
+            # Rename bound variables apart first to avoid capture.
+            fresh = {b: _fresh_name(b, self) for b in self.bound}
+            return Exists(
+                tuple(fresh.values()), self.body.rename(fresh)
+            ).rename(mapping)
+        return exists(self.bound, self.body.rename(safe))
+
+    def substitute(self, mapping: Mapping[str, LinExpr]) -> Formula:
+        safe = {k: v for k, v in mapping.items() if k not in self.bound}
+        used = set()
+        for e in safe.values():
+            used |= e.variables()
+        if used & set(self.bound):
+            fresh = {b: _fresh_name(b, self) for b in self.bound}
+            return Exists(
+                tuple(fresh.values()), self.body.rename(fresh)
+            ).substitute(mapping)
+        return exists(self.bound, self.body.substitute(safe))
+
+    def evaluate(self, env: Mapping[str, Coeff]) -> bool:
+        raise ValueError("cannot directly evaluate a quantified formula")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Exists)
+            and self.bound == other.bound
+            and self.body == other.body
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"(exists {', '.join(self.bound)} . {self.body!r})"
+
+
+_FRESH_COUNTER = itertools.count()
+
+
+def _fresh_name(base: str, context: Formula) -> str:
+    taken = context.free_vars()
+    while True:
+        cand = f"{base}#{next(_FRESH_COUNTER)}"
+        if cand not in taken:
+            return cand
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def _atom_or_const(expr: LinExpr, rel: Rel) -> Formula:
+    if expr.is_constant():
+        value = expr.constant
+        if rel is Rel.LE:
+            return TRUE if value <= 0 else FALSE
+        return TRUE if value == 0 else FALSE
+    return Atom(expr.normalized() if rel is Rel.EQ else _norm_le(expr), rel)
+
+
+def _norm_le(expr: LinExpr) -> LinExpr:
+    """Normalise an LE atom: integer coefficients, gcd-reduced on the
+    variable part, constant floored accordingly (integer tightening)."""
+    # Fast path: unit integer coefficients need no work.
+    coeffs = expr.coeffs
+    if expr.constant.denominator == 1 and all(
+        c.denominator == 1 and (c == 1 or c == -1) for c in coeffs.values()
+    ):
+        return expr
+    # Scale to integer coefficients.
+    denoms = [c.denominator for c in coeffs.values()]
+    denoms.append(expr.constant.denominator)
+    lcm = 1
+    for d in denoms:
+        g = _gcd_int(lcm, d)
+        lcm = lcm * d // g
+    e = expr.scale(lcm) if lcm != 1 else expr
+    # gcd of variable coefficients only
+    g = 0
+    for c in e.coeffs.values():
+        g = _gcd_int(g, int(c))
+    if g > 1:
+        coeffs = {n: c / g for n, c in e.coeffs.items()}
+        # e <= 0  <=>  g*(sum) + k <= 0  <=>  sum <= floor(-k/g)
+        from math import floor
+
+        new_const = -floor(Fraction(-e.constant, g))
+        e = LinExpr(coeffs, new_const)
+    return e
+
+
+from fractions import Fraction  # noqa: E402  (used by _norm_le)
+
+
+def _gcd_int(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+def conj(*parts: Formula) -> Formula:
+    """Conjunction with flattening and unit/zero laws."""
+    flat: List[Formula] = []
+    seen = set()
+    for p in parts:
+        if isinstance(p, BoolConst):
+            if not p.value:
+                return FALSE
+            continue
+        if isinstance(p, And):
+            for q in p.args:
+                if isinstance(q, BoolConst):
+                    if not q.value:
+                        return FALSE
+                    continue
+                if q not in seen:
+                    seen.add(q)
+                    flat.append(q)
+            continue
+        if p not in seen:
+            seen.add(p)
+            flat.append(p)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(flat)
+
+
+def disj(*parts: Formula) -> Formula:
+    """Disjunction with flattening and unit/zero laws."""
+    flat: List[Formula] = []
+    seen = set()
+    for p in parts:
+        if isinstance(p, BoolConst):
+            if p.value:
+                return TRUE
+            continue
+        if isinstance(p, Or):
+            for q in p.args:
+                if isinstance(q, BoolConst):
+                    if q.value:
+                        return TRUE
+                    continue
+                if q not in seen:
+                    seen.add(q)
+                    flat.append(q)
+            continue
+        if p not in seen:
+            seen.add(p)
+            flat.append(p)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(flat)
+
+
+def neg(p: Formula) -> Formula:
+    """Negation, pushed one level when cheap."""
+    if isinstance(p, BoolConst):
+        return FALSE if p.value else TRUE
+    if isinstance(p, Not):
+        return p.arg
+    if isinstance(p, Atom):
+        return p.negated()
+    return Not(p)
+
+
+def exists(bound: Iterable[str], body: Formula) -> Formula:
+    bound = tuple(b for b in bound if b in body.free_vars())
+    if not bound:
+        return body
+    if isinstance(body, Exists):
+        return Exists(tuple(set(bound) | set(body.bound)), body.body)
+    return Exists(bound, body)
+
+
+# ---------------------------------------------------------------------------
+# Atom builders over arbitrary expressions
+# ---------------------------------------------------------------------------
+
+
+ExprLike = Union[LinExpr, Coeff, str]
+
+
+def atom_le(lhs: ExprLike, rhs: ExprLike) -> Formula:
+    """``lhs <= rhs``."""
+    return _atom_or_const(to_linexpr(lhs) - to_linexpr(rhs), Rel.LE)
+
+
+def atom_lt(lhs: ExprLike, rhs: ExprLike) -> Formula:
+    """``lhs < rhs`` over integers, tightened to ``lhs + 1 <= rhs``."""
+    return _atom_or_const(to_linexpr(lhs) - to_linexpr(rhs) + 1, Rel.LE)
+
+
+def atom_ge(lhs: ExprLike, rhs: ExprLike) -> Formula:
+    """``lhs >= rhs``."""
+    return atom_le(rhs, lhs)
+
+
+def atom_gt(lhs: ExprLike, rhs: ExprLike) -> Formula:
+    """``lhs > rhs`` over integers."""
+    return atom_lt(rhs, lhs)
+
+
+def atom_eq(lhs: ExprLike, rhs: ExprLike) -> Formula:
+    """``lhs == rhs``."""
+    return _atom_or_const(to_linexpr(lhs) - to_linexpr(rhs), Rel.EQ)
+
+
+def atom_ne(lhs: ExprLike, rhs: ExprLike) -> Formula:
+    """``lhs != rhs`` (expanded to a disjunction of strict inequalities)."""
+    e = to_linexpr(lhs) - to_linexpr(rhs)
+    return disj(_atom_or_const(e + 1, Rel.LE), _atom_or_const(-e + 1, Rel.LE))
+
+
+# ---------------------------------------------------------------------------
+# Normal forms
+# ---------------------------------------------------------------------------
+
+
+def to_nnf(p: Formula, negate: bool = False) -> Formula:
+    """Negation normal form.  Quantifiers must not appear under negation."""
+    if isinstance(p, BoolConst):
+        return neg(p) if negate else p
+    if isinstance(p, Atom):
+        return p.negated() if negate else p
+    if isinstance(p, Not):
+        return to_nnf(p.arg, not negate)
+    if isinstance(p, And):
+        parts = [to_nnf(a, negate) for a in p.args]
+        return disj(*parts) if negate else conj(*parts)
+    if isinstance(p, Or):
+        parts = [to_nnf(a, negate) for a in p.args]
+        return conj(*parts) if negate else disj(*parts)
+    if isinstance(p, Exists):
+        if negate:
+            raise ValueError(
+                "negation over exists is outside the supported fragment; "
+                "eliminate the quantifier (arith.solver.project) first"
+            )
+        return exists(p.bound, to_nnf(p.body))
+    raise TypeError(f"unknown formula node {type(p).__name__}")
+
+
+_DNF_CACHE: dict = {}
+_DNF_CACHE_LIMIT = 100_000
+
+
+def to_dnf(p: Formula, limit: int = 50_000) -> List[List[Atom]]:
+    """Disjunctive normal form as a list of conjunctions of atoms.
+
+    Existentials are pushed inward and recorded by renaming their bound
+    variables to fresh names (sound for satisfiability-style queries, which
+    is the only way the solver consumes DNF).  Results are memoised
+    (quantifier-free formulas only -- fresh renaming makes quantified
+    results non-reusable).
+    """
+    cached = _DNF_CACHE.get(p)
+    if cached is not None:
+        return cached
+    cubes = _dnf(to_nnf(p), limit)
+    if len(_DNF_CACHE) < _DNF_CACHE_LIMIT and not _contains_exists(p):
+        _DNF_CACHE[p] = cubes
+    return cubes
+
+
+def _contains_exists(p: Formula) -> bool:
+    if isinstance(p, Exists):
+        return True
+    if isinstance(p, (And, Or)):
+        return any(_contains_exists(a) for a in p.args)
+    if isinstance(p, Not):
+        return _contains_exists(p.arg)
+    return False
+
+
+def _dnf(p: Formula, limit: int) -> List[List[Atom]]:
+    if isinstance(p, BoolConst):
+        return [[]] if p.value else []
+    if isinstance(p, Atom):
+        return [[p]]
+    if isinstance(p, Or):
+        out: List[List[Atom]] = []
+        for a in p.args:
+            out.extend(_dnf(a, limit))
+            if len(out) > limit:
+                raise MemoryError("DNF explosion beyond configured limit")
+        return out
+    if isinstance(p, And):
+        cubes: List[List[Atom]] = [[]]
+        for a in p.args:
+            sub = _dnf(a, limit)
+            cubes = [c + s for c in cubes for s in sub]
+            if len(cubes) > limit:
+                raise MemoryError("DNF explosion beyond configured limit")
+        return cubes
+    if isinstance(p, Exists):
+        # Rename bound variables to globally fresh ones, then drop the
+        # quantifier: sound for SAT queries.
+        fresh = {b: _fresh_name(b, p) for b in p.bound}
+        return _dnf(to_nnf(p.body.rename(fresh)), limit)
+    raise TypeError(f"cannot convert {type(p).__name__} to DNF (NNF expected)")

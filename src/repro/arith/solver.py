@@ -1,0 +1,220 @@
+"""Decision procedures: SAT, validity, entailment, projection, simplification.
+
+The solver works by DNF conversion followed by Fourier-Motzkin reasoning on
+each cube (:mod:`repro.arith.fm`).  Results of satisfiability queries are
+memoised: formulas are immutable and hashable, so caching is safe.
+
+Completeness note: with the integer tightening performed at atom
+construction, the procedure is exact on the unit-two-variable fragment
+(difference-bound-like constraints with unit coefficients) that the paper's
+verification conditions live in, and remains a sound UNSAT test in general.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arith import fm
+from repro.arith.formula import (
+    Atom,
+    BoolConst,
+    Exists,
+    FALSE,
+    Formula,
+    Rel,
+    TRUE,
+    conj,
+    disj,
+    exists,
+    neg,
+    to_dnf,
+)
+
+_SAT_CACHE: Dict[Formula, bool] = {}
+_ENTAIL_CACHE: Dict[Tuple[Formula, Formula], bool] = {}
+_CACHE_LIMIT = 200_000
+
+
+def clear_caches() -> None:
+    """Drop all memoised solver results (mostly useful in benchmarks)."""
+    _SAT_CACHE.clear()
+    _ENTAIL_CACHE.clear()
+
+
+def dnf_disjuncts(p: Formula) -> List[List[Atom]]:
+    """DNF of *p* as a list of cubes (conjunctions of atoms)."""
+    return to_dnf(p)
+
+
+def cube_formula(atoms: Sequence[Atom]) -> Formula:
+    """Rebuild a conjunction from a cube."""
+    return conj(*atoms)
+
+
+def is_sat(p: Formula) -> bool:
+    """Satisfiability over the integers (see module completeness note).
+
+    On DNF blow-up the query degrades to "satisfiable" -- the conservative
+    answer for every use in the inference (assumptions are kept rather
+    than dropped, proofs fail rather than succeed).
+    """
+    cached = _SAT_CACHE.get(p)
+    if cached is not None:
+        return cached
+    try:
+        result = any(fm.cube_is_sat(cube) for cube in to_dnf(p))
+    except MemoryError:
+        return True
+    if len(_SAT_CACHE) < _CACHE_LIMIT:
+        _SAT_CACHE[p] = result
+    return result
+
+
+def is_unsat(p: Formula) -> bool:
+    return not is_sat(p)
+
+
+def is_valid(p: Formula) -> bool:
+    """Validity of a (possibly existential) formula."""
+    return is_unsat(neg(_eliminate_quantifiers(p)))
+
+
+def entails(antecedent: Formula, consequent: Formula) -> bool:
+    """``antecedent => consequent`` (existentials in the consequent are
+    eliminated by projection before negation)."""
+    key = (antecedent, consequent)
+    cached = _ENTAIL_CACHE.get(key)
+    if cached is not None:
+        return cached
+    try:
+        result = is_unsat(
+            conj(antecedent, neg(_eliminate_quantifiers(consequent)))
+        )
+    except MemoryError:
+        # blow-up: conservatively fail the proof obligation
+        return False
+    if len(_ENTAIL_CACHE) < _CACHE_LIMIT:
+        _ENTAIL_CACHE[key] = result
+    return result
+
+
+def equivalent(a: Formula, b: Formula) -> bool:
+    return entails(a, b) and entails(b, a)
+
+
+def model(p: Formula) -> Optional[Dict[str, Fraction]]:
+    """A satisfying assignment for *p*, or ``None``."""
+    for cube in to_dnf(p):
+        env = fm.cube_model(cube)
+        if env is not None:
+            free = p.free_vars()
+            for v in free:
+                env.setdefault(v, Fraction(0))
+            if all(a.evaluate(env) for a in cube):
+                return env
+    return None
+
+
+def _eliminate_quantifiers(p: Formula) -> Formula:
+    if isinstance(p, Exists):
+        return project(p.body, eliminate=set(p.bound))
+    if isinstance(p, (BoolConst, Atom)):
+        return p
+    # Rebuild children; And/Or/Not all expose .args or .arg
+    from repro.arith.formula import And, Not, Or
+
+    if isinstance(p, And):
+        return conj(*(_eliminate_quantifiers(a) for a in p.args))
+    if isinstance(p, Or):
+        return disj(*(_eliminate_quantifiers(a) for a in p.args))
+    if isinstance(p, Not):
+        return neg(_eliminate_quantifiers(p.arg))
+    raise TypeError(f"unknown formula node {type(p).__name__}")
+
+
+def project(p: Formula, keep: Optional[Set[str]] = None,
+            eliminate: Optional[Set[str]] = None) -> Formula:
+    """Quantifier elimination: ``exists eliminated-vars . p``.
+
+    Exactly one of *keep*/*eliminate* must be given.  The result mentions
+    only the kept variables.
+    """
+    if (keep is None) == (eliminate is None):
+        raise ValueError("specify exactly one of keep= or eliminate=")
+    p = _eliminate_quantifiers(p) if _has_exists(p) else p
+    cubes: List[Formula] = []
+    for cube in to_dnf(p):
+        try:
+            projected = fm.project_cube(cube, keep=keep, eliminate=eliminate)
+        except fm.Unsat:
+            continue
+        cubes.append(conj(*projected))
+    return disj(*cubes)
+
+
+def _has_exists(p: Formula) -> bool:
+    from repro.arith.formula import And, Not, Or
+
+    if isinstance(p, Exists):
+        return True
+    if isinstance(p, (And, Or)):
+        return any(_has_exists(a) for a in p.args)
+    if isinstance(p, Not):
+        return _has_exists(p.arg)
+    return False
+
+
+def simplify(p: Formula) -> Formula:
+    """Semantic simplification via DNF.
+
+    Drops unsatisfiable cubes, removes atoms implied by the rest of their
+    cube, and removes cubes subsumed by other cubes.  The result is
+    equivalent to the input (over the solver's integer semantics).
+    """
+    try:
+        cubes = to_dnf(p)
+    except MemoryError:
+        return p
+    if len(cubes) > 12:
+        # Large disjunctions: quadratic pruning/subsumption would dominate
+        # the analysis; keep only the cheap unsat-cube filter.
+        sat_cubes = [c for c in cubes if fm.cube_is_sat(c)]
+        if not sat_cubes:
+            return FALSE
+        return disj(*(conj(*c) for c in sat_cubes))
+    kept_cubes: List[List[Atom]] = []
+    for cube in cubes:
+        if not fm.cube_is_sat(cube):
+            continue
+        kept_cubes.append(_prune_cube(cube))
+    # subsumption between cubes: cube A subsumes cube B when B => A
+    result: List[List[Atom]] = []
+    for i, cube in enumerate(kept_cubes):
+        ci = conj(*cube)
+        subsumed = False
+        for j, other in enumerate(kept_cubes):
+            if i == j:
+                continue
+            cj = conj(*other)
+            if entails(ci, cj) and not (entails(cj, ci) and j > i):
+                subsumed = True
+                break
+        if not subsumed:
+            result.append(cube)
+    if not result:
+        return FALSE
+    return disj(*(conj(*c) for c in result))
+
+
+def _prune_cube(cube: List[Atom]) -> List[Atom]:
+    pruned = list(cube)
+    i = 0
+    while i < len(pruned):
+        candidate = pruned[i]
+        rest = pruned[:i] + pruned[i + 1:]
+        if rest and entails(conj(*rest), candidate):
+            pruned = rest
+        else:
+            i += 1
+    return pruned

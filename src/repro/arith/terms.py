@@ -1,0 +1,233 @@
+"""Linear expressions over named integer variables.
+
+A :class:`LinExpr` represents ``c0 + c1*v1 + ... + cn*vn`` with exact
+rational coefficients.  Instances are immutable and hashable, so they can be
+used as dictionary keys and stored in sets.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Coeff = Union[int, Fraction]
+
+
+def _to_fraction(value: Coeff) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    raise TypeError(f"expected int or Fraction, got {type(value).__name__}")
+
+
+class LinExpr:
+    """An immutable linear expression ``const + sum(coeff[v] * v)``.
+
+    Zero coefficients are never stored, so two expressions are equal exactly
+    when they denote the same affine function.
+    """
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, Coeff] = (), constant: Coeff = 0):
+        items = coeffs.items() if isinstance(coeffs, Mapping) else coeffs
+        cleaned: Dict[str, Fraction] = {}
+        for name, c in items:
+            f = c if type(c) is Fraction else _to_fraction(c)
+            if f != 0:
+                cleaned[name] = f
+        self._coeffs: Tuple[Tuple[str, Fraction], ...] = tuple(
+            sorted(cleaned.items())
+        )
+        self._const = (
+            constant if type(constant) is Fraction else _to_fraction(constant)
+        )
+        self._hash = None  # computed lazily
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def constant(self) -> Fraction:
+        return self._const
+
+    @property
+    def coeffs(self) -> Dict[str, Fraction]:
+        return dict(self._coeffs)
+
+    def coeff(self, name: str) -> Fraction:
+        for n, c in self._coeffs:
+            if n == name:
+                return c
+        return Fraction(0)
+
+    def variables(self) -> frozenset:
+        return frozenset(n for n, _ in self._coeffs)
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: Union["LinExpr", Coeff]) -> "LinExpr":
+        if not isinstance(other, LinExpr):
+            return LinExpr(dict(self._coeffs), self._const + _to_fraction(other))
+        coeffs = dict(self._coeffs)
+        for name, c in other._coeffs:
+            coeffs[name] = coeffs.get(name, _ZERO) + c
+        return LinExpr(coeffs, self._const + other._const)
+
+    def __radd__(self, other: Coeff) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: Union["LinExpr", Coeff]) -> "LinExpr":
+        return self + (-to_linexpr(other))
+
+    def __rsub__(self, other: Coeff) -> "LinExpr":
+        return to_linexpr(other) - self
+
+    def __neg__(self) -> "LinExpr":
+        return self.scale(-1)
+
+    def scale(self, k: Coeff) -> "LinExpr":
+        k = _to_fraction(k)
+        return LinExpr({n: c * k for n, c in self._coeffs}, self._const * k)
+
+    def __mul__(self, k: Coeff) -> "LinExpr":
+        return self.scale(k)
+
+    def __rmul__(self, k: Coeff) -> "LinExpr":
+        return self.scale(k)
+
+    # -- substitution & evaluation ------------------------------------------
+
+    def substitute(self, mapping: Mapping[str, "LinExpr"]) -> "LinExpr":
+        """Replace each variable in *mapping* by the given expression."""
+        if not any(name in mapping for name, _c in self._coeffs):
+            return self
+        coeffs: Dict[str, Fraction] = {}
+        const = self._const
+        for name, c in self._coeffs:
+            repl = mapping.get(name)
+            if repl is None:
+                coeffs[name] = coeffs.get(name, _ZERO) + c
+            else:
+                for rn, rc in repl._coeffs:
+                    coeffs[rn] = coeffs.get(rn, _ZERO) + rc * c
+                const += repl._const * c
+        return LinExpr(coeffs, const)
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        """Rename variables (non-capturing: all renames happen at once)."""
+        coeffs: Dict[str, Fraction] = {}
+        for name, c in self._coeffs:
+            new = mapping.get(name, name)
+            coeffs[new] = coeffs.get(new, Fraction(0)) + c
+        return LinExpr(coeffs, self._const)
+
+    def evaluate(self, env: Mapping[str, Coeff]) -> Fraction:
+        total = self._const
+        for name, c in self._coeffs:
+            total += c * _to_fraction(env[name])
+        return total
+
+    # -- normalisation -------------------------------------------------------
+
+    def normalized(self) -> "LinExpr":
+        """Scale so all coefficients are coprime integers and the leading
+        coefficient is positive.  Used for canonical atom representations."""
+        if not self._coeffs and self._const == 0:
+            return self
+        denoms = [c.denominator for _, c in self._coeffs]
+        denoms.append(self._const.denominator)
+        lcm = 1
+        for d in denoms:
+            lcm = lcm * d // _gcd(lcm, d)
+        scaled = self.scale(lcm)
+        nums = [abs(int(c)) for _, c in scaled._coeffs if c != 0]
+        if scaled._const != 0:
+            nums.append(abs(int(scaled._const)))
+        if not nums:
+            return scaled
+        g = 0
+        for n in nums:
+            g = _gcd(g, n)
+        if g > 1:
+            scaled = scaled.scale(Fraction(1, g))
+        return scaled
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LinExpr)
+            and self._coeffs == other._coeffs
+            and self._const == other._const
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            object.__setattr__(self, "_hash", hash((self._coeffs, self._const)))
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"LinExpr({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        for name, c in self._coeffs:
+            if c == 1:
+                parts.append(f"+ {name}")
+            elif c == -1:
+                parts.append(f"- {name}")
+            elif c > 0:
+                parts.append(f"+ {c}*{name}")
+            else:
+                parts.append(f"- {-c}*{name}")
+        if self._const != 0 or not parts:
+            if self._const >= 0:
+                parts.append(f"+ {self._const}")
+            else:
+                parts.append(f"- {-self._const}")
+        text = " ".join(parts)
+        if text.startswith("+ "):
+            text = text[2:]
+        elif text.startswith("- "):
+            text = "-" + text[2:]
+        return text
+
+
+_ZERO = Fraction(0)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return abs(a)
+
+
+def to_linexpr(value: Union[LinExpr, Coeff, str]) -> LinExpr:
+    """Coerce an int, Fraction, variable name or LinExpr into a LinExpr."""
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, str):
+        return LinExpr({value: 1})
+    return LinExpr({}, value)
+
+
+def var(name: str) -> LinExpr:
+    """The expression consisting of a single variable."""
+    return LinExpr({name: 1})
+
+
+def const(k: Coeff) -> LinExpr:
+    """A constant expression."""
+    return LinExpr({}, k)
+
+
+def linear_combination(pairs: Iterable[Tuple[Coeff, str]], constant: Coeff = 0) -> LinExpr:
+    """Build ``constant + sum(c*v for c, v in pairs)``."""
+    coeffs: Dict[str, Fraction] = {}
+    for c, v in pairs:
+        coeffs[v] = coeffs.get(v, Fraction(0)) + _to_fraction(c)
+    return LinExpr(coeffs, constant)

@@ -1,0 +1,35 @@
+"""Baseline termination/non-termination analyzers.
+
+The paper compares HipTNT+ against AProVE, ULTIMATE and T2 -- closed or
+unavailable systems.  Per the reproduction's substitution policy
+(DESIGN.md), this package implements simplified analyzers exhibiting the
+architectural traits the paper attributes to those tools:
+
+* :mod:`repro.baselines.monolithic` -- a whole-program termination prover
+  in the TERMINATOR/T2 tradition: one global (lexicographic) ranking
+  argument over the program's recursion/loop transitions, no per-input
+  case analysis.  In AProVE mode it answers only Y/U (no
+  non-termination proofs), matching AProVE's all-zero ``N`` column in
+  paper Fig. 10.
+* :mod:`repro.baselines.recurrent` -- a recurrent-set non-termination
+  prover (TNT-style): search for a guard-closed region witnessing
+  divergence.
+* :mod:`repro.baselines.combo` -- an ULTIMATE-style combination running
+  the termination prover and the non-termination prover in sequence.
+"""
+
+from repro.baselines.monolithic import MonolithicTerminationProver
+from repro.baselines.recurrent import RecurrentSetProver
+from repro.baselines.combo import (
+    AProVELikeAnalyzer,
+    T2LikeAnalyzer,
+    UltimateLikeAnalyzer,
+)
+
+__all__ = [
+    "MonolithicTerminationProver",
+    "RecurrentSetProver",
+    "AProVELikeAnalyzer",
+    "T2LikeAnalyzer",
+    "UltimateLikeAnalyzer",
+]

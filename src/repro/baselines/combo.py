@@ -1,0 +1,78 @@
+"""Tool-shaped baseline analyzers combining the two provers.
+
+Each analyzer consumes a program and returns an SV-COMP-style verdict
+(:class:`repro.core.pipeline.Verdict`), mirroring the *capability profile*
+of the tool it stands in for (see DESIGN.md's substitution table):
+
+* :class:`AProVELikeAnalyzer` -- termination proofs only, never answers N
+  (AProVE's column in paper Fig. 10 has N = 0 across all benchmarks);
+* :class:`UltimateLikeAnalyzer` -- termination proofs plus recurrent-set
+  non-termination, recursion supported;
+* :class:`T2LikeAnalyzer` -- like ULTIMATE but *refusing genuinely
+  recursive programs* (the paper could only run T2 on 221 loop-based
+  integer programs because llvm2KITTeL "cannot properly handle pointers
+  and recursive methods").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.monolithic import MonolithicTerminationProver
+from repro.baselines.recurrent import RecurrentSetProver
+from repro.core.pipeline import Verdict
+from repro.lang import desugar_program, method_sccs
+from repro.lang.ast import Program
+from repro.lang.callgraph import is_recursive_scc
+
+
+class AProVELikeAnalyzer:
+    """Termination-only whole-program prover."""
+
+    name = "AProVE-like"
+
+    def analyze(self, program: Program) -> Verdict:
+        desugared = desugar_program(program)
+        result = MonolithicTerminationProver(desugared, desugared=True).prove()
+        if result:
+            return Verdict.TERMINATING
+        return Verdict.UNKNOWN
+
+
+class UltimateLikeAnalyzer:
+    """Termination prover with a recurrent-set fallback."""
+
+    name = "ULTIMATE-like"
+
+    def analyze(self, program: Program) -> Verdict:
+        desugared = desugar_program(program)
+        term = MonolithicTerminationProver(desugared, desugared=True).prove()
+        if term:
+            return Verdict.TERMINATING
+        nt = RecurrentSetProver(desugared, desugared=True).prove()
+        if nt:
+            return Verdict.NONTERMINATING
+        return Verdict.UNKNOWN
+
+
+class T2LikeAnalyzer:
+    """ULTIMATE-style combination restricted to loop-based programs."""
+
+    name = "T2-like"
+
+    def supports(self, program: Program) -> bool:
+        """True when the program is loop-based: no user-written recursion
+        (desugared loop methods are fine)."""
+        desugared = desugar_program(program)
+        for scc in method_sccs(desugared):
+            if not is_recursive_scc(desugared, scc):
+                continue
+            for name in scc:
+                if not desugared.methods[name].source_loop:
+                    return False
+        return True
+
+    def analyze(self, program: Program) -> Optional[Verdict]:
+        if not self.supports(program):
+            return None
+        return UltimateLikeAnalyzer().analyze(program)

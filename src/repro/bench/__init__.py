@@ -1,0 +1,28 @@
+"""Benchmark infrastructure reproducing the paper's evaluation.
+
+* :mod:`repro.bench.programs` -- the benchmark corpus: four categories
+  mirroring the SV-COMP'15 termination suites used in paper Fig. 10
+  (``crafted``, ``crafted-lit``, ``numeric``, ``memory-alloca``), each
+  program with its ground-truth verdict;
+* :mod:`repro.bench.runner` -- timeout-bounded execution of an analyzer on
+  a program, outcome classification (Y/N/U/T-O) and soundness accounting
+  against the ground truth;
+* :mod:`repro.bench.reporting` -- Fig. 10- and Fig. 11-shaped tables.
+
+Run ``python -m repro.bench fig10`` / ``fig11`` for the standalone
+harness; the ``benchmarks/`` pytest suite wraps the same entry points.
+"""
+
+from repro.bench.programs import BenchProgram, CATEGORIES, all_programs
+from repro.bench.runner import run_tool, BenchOutcome
+from repro.bench.reporting import fig10_table, fig11_table
+
+__all__ = [
+    "BenchProgram",
+    "CATEGORIES",
+    "all_programs",
+    "run_tool",
+    "BenchOutcome",
+    "fig10_table",
+    "fig11_table",
+]

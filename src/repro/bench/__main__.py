@@ -1,0 +1,28 @@
+"""Command-line harness: ``python -m repro.bench {fig10,fig11}``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.reporting import fig10_table, fig11_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables.",
+    )
+    parser.add_argument("table", choices=["fig10", "fig11"])
+    parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-run wall-clock budget in seconds (paper used 300)",
+    )
+    args = parser.parse_args()
+    if args.table == "fig10":
+        print(fig10_table(timeout=args.timeout))
+    else:
+        print(fig11_table(timeout=args.timeout))
+
+
+if __name__ == "__main__":
+    main()

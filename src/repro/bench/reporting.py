@@ -1,0 +1,140 @@
+"""Fig. 10- and Fig. 11-shaped result tables.
+
+``fig10_table`` runs {AProVE-like, ULTIMATE-like, HIPTNT+} over the four
+benchmark categories and prints Y/N/U/T-O/time per (tool, category) --
+the exact row/column structure of paper Fig. 10.  ``fig11_table`` compares
+HIPTNT+ against the T2-like baseline on the loop-based integer programs of
+the first three categories, mirroring paper Fig. 11 (the paper restricted
+the T2 comparison to 221 loop-based programs because its C frontend could
+not handle recursion or pointers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import (
+    AProVELikeAnalyzer,
+    T2LikeAnalyzer,
+    UltimateLikeAnalyzer,
+)
+from repro.bench.programs import BenchProgram, CATEGORIES, all_programs
+from repro.bench.runner import BenchOutcome, HipTNTPlus, run_tool, tally
+
+
+class _HipWrapper:
+    """Adapter giving HipTNT+ the same analyze(program) interface."""
+
+    name = "HIPTNT+"
+
+    def __init__(self) -> None:
+        self._main: Optional[str] = None
+
+    def bind(self, main: str) -> "_HipWrapper":
+        self._main = main
+        return self
+
+    def analyze(self, program):
+        assert self._main is not None
+        return HipTNTPlus(self._main).analyze(program)
+
+
+def run_fig10(
+    timeout: float = 60.0,
+    categories: Sequence[str] = CATEGORIES,
+    programs: Optional[List[BenchProgram]] = None,
+) -> Dict[str, Dict[str, List[BenchOutcome]]]:
+    """All Fig. 10 outcomes: tool -> category -> outcome list."""
+    tools = {
+        "AProVE-like": AProVELikeAnalyzer(),
+        "ULTIMATE-like": UltimateLikeAnalyzer(),
+        "HIPTNT+": _HipWrapper(),
+    }
+    results: Dict[str, Dict[str, List[BenchOutcome]]] = {
+        name: {c: [] for c in categories} for name in tools
+    }
+    corpus = programs if programs is not None else all_programs()
+    for bench in corpus:
+        if bench.category not in categories:
+            continue
+        for name, tool in tools.items():
+            if isinstance(tool, _HipWrapper):
+                tool.bind(bench.main)
+            outcome = run_tool(tool, bench, timeout=timeout)
+            results[name][bench.category].append(outcome)
+    return results
+
+
+def fig10_table(
+    timeout: float = 60.0,
+    categories: Sequence[str] = CATEGORIES,
+    programs: Optional[List[BenchProgram]] = None,
+) -> str:
+    """The Fig. 10 table as formatted text."""
+    results = run_fig10(timeout=timeout, categories=categories,
+                        programs=programs)
+    header = f"{'Tool':<14}"
+    for c in categories:
+        header += f"| {c:^26} "
+    header += f"| {'Total':^26}"
+    sub = f"{'':<14}"
+    for _ in (*categories, "total"):
+        sub += f"| {'Y':>4} {'N':>4} {'U':>4} {'T/O':>4} {'Time':>6} "
+    lines = [header, sub, "-" * len(sub)]
+    for tool, per_cat in results.items():
+        row = f"{tool:<14}"
+        total: List[BenchOutcome] = []
+        for c in categories:
+            outcomes = per_cat[c]
+            total.extend(outcomes)
+            t = tally(outcomes)
+            row += (
+                f"| {t['Y']:>4} {t['N']:>4} {t['U']:>4} {t['T/O']:>4} "
+                f"{t['time']:>6.1f} "
+            )
+        t = tally(total)
+        row += (
+            f"| {t['Y']:>4} {t['N']:>4} {t['U']:>4} {t['T/O']:>4} "
+            f"{t['time']:>6.1f}"
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def run_fig11(
+    timeout: float = 60.0,
+    programs: Optional[List[BenchProgram]] = None,
+) -> Dict[str, List[BenchOutcome]]:
+    """Fig. 11 outcomes: loop-based integer programs, T2-like vs HIPTNT+."""
+    corpus = programs if programs is not None else all_programs()
+    loop_programs = [
+        p
+        for p in corpus
+        if p.loop_based and p.category in ("crafted", "crafted-lit", "numeric")
+    ]
+    t2 = T2LikeAnalyzer()
+    hip = _HipWrapper()
+    results: Dict[str, List[BenchOutcome]] = {"T2-like": [], "HIPTNT+": []}
+    for bench in loop_programs:
+        results["T2-like"].append(run_tool(t2, bench, timeout=timeout))
+        hip.bind(bench.main)
+        results["HIPTNT+"].append(run_tool(hip, bench, timeout=timeout))
+    return results
+
+
+def fig11_table(
+    timeout: float = 60.0,
+    programs: Optional[List[BenchProgram]] = None,
+) -> str:
+    """The Fig. 11 table as formatted text."""
+    results = run_fig11(timeout=timeout, programs=programs)
+    lines = [
+        f"{'Tool':<12}{'Total':>6}{'Y':>5}{'N':>5}{'U':>5}{'T/O':>5}{'Time':>8}"
+    ]
+    for tool, outcomes in results.items():
+        t = tally(outcomes)
+        lines.append(
+            f"{tool:<12}{len(outcomes):>6}{t['Y']:>5}{t['N']:>5}"
+            f"{t['U']:>5}{t['T/O']:>5}{t['time']:>8.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Timeout-bounded analyzer execution and outcome accounting.
+
+Mirrors the paper's experimental protocol: each (tool, program) run gets a
+wall-clock budget (the paper used 300 s; the default here is smaller since
+the corpus is smaller), outcomes are classified Y / N / U / T-O, and every
+definite answer is checked against the program's ground truth -- the
+analogue of the paper re-verifying all inferred specifications ("our tool
+does not have any false positive nor negative").
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol
+
+from repro.core.pipeline import Verdict, classify, infer_program
+from repro.bench.programs import BenchProgram
+
+
+class AnalysisTimeout(Exception):
+    """Raised inside a run when the wall-clock budget expires."""
+
+
+@dataclass
+class BenchOutcome:
+    """One (tool, program) result."""
+
+    program: str
+    tool: str
+    verdict: Optional[Verdict]  # None means timeout
+    seconds: float
+    sound: bool  # definite answers must match the ground truth
+
+    @property
+    def timed_out(self) -> bool:
+        return self.verdict is None
+
+
+class Analyzer(Protocol):
+    name: str
+
+    def analyze(self, program) -> Optional[Verdict]:  # pragma: no cover
+        ...
+
+
+class HipTNTPlus:
+    """The paper's tool: the full inference pipeline of this package.
+
+    The per-group solver budget is kept below the harness timeout so the
+    tool degrades to conditional/U answers instead of timing out --
+    matching the paper's zero-timeout column for HIPTNT+.
+    """
+
+    name = "HIPTNT+"
+
+    def __init__(self, main: str, time_budget: float = 15.0):
+        self.main = main
+        self.time_budget = time_budget
+
+    def analyze(self, program) -> Verdict:
+        result = infer_program(program, time_budget=self.time_budget)
+        return classify(result.specs[self.main])
+
+
+def _with_timeout(fn, seconds: float):
+    """Run *fn* under a SIGALRM-based wall-clock budget (POSIX only)."""
+
+    def handler(signum, frame):
+        raise AnalysisTimeout()
+
+    old = signal.signal(signal.SIGALRM, handler)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return fn()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old)
+
+
+def run_tool(
+    tool: Analyzer,
+    bench: BenchProgram,
+    timeout: float = 60.0,
+) -> BenchOutcome:
+    """Run one analyzer on one benchmark program."""
+    program = bench.program()
+    start = time.monotonic()
+    verdict: Optional[Verdict]
+    try:
+        verdict = _with_timeout(lambda: tool.analyze(program), timeout)
+    except AnalysisTimeout:
+        verdict = None
+    except Exception:
+        # analyzer bailed out (unsupported fragment, ...): unknown
+        verdict = Verdict.UNKNOWN
+    elapsed = time.monotonic() - start
+    sound = True
+    if verdict is Verdict.TERMINATING:
+        sound = bench.expected is Verdict.TERMINATING
+    elif verdict is Verdict.NONTERMINATING:
+        sound = bench.expected is Verdict.NONTERMINATING
+    return BenchOutcome(
+        program=bench.name,
+        tool=tool.name,
+        verdict=verdict,
+        seconds=elapsed,
+        sound=sound,
+    )
+
+
+def tally(outcomes: List[BenchOutcome]) -> Dict[str, object]:
+    """Aggregate Y/N/U/T-O counts and total time (excluding timeouts),
+    exactly the columns of paper Fig. 10."""
+    y = sum(1 for o in outcomes if o.verdict is Verdict.TERMINATING)
+    n = sum(1 for o in outcomes if o.verdict is Verdict.NONTERMINATING)
+    u = sum(1 for o in outcomes if o.verdict is Verdict.UNKNOWN)
+    to = sum(1 for o in outcomes if o.timed_out)
+    t = sum(o.seconds for o in outcomes if not o.timed_out)
+    unsound = sum(1 for o in outcomes if not o.sound)
+    return {"Y": y, "N": n, "U": u, "T/O": to, "time": t, "unsound": unsound}

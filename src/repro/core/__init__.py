@@ -1,0 +1,38 @@
+"""The paper's primary contribution: TNT specification inference.
+
+Pipeline (paper Sections 3-5):
+
+1. :mod:`repro.core.verifier` runs Hoare-style forward symbolic execution
+   over each method, generating relational assumptions over the unknown
+   temporal predicates ``Upr``/``Upo`` (rules [TNT-CALL], [TNT-METH]).
+2. :mod:`repro.core.solver` implements ``solve`` (paper Fig. 6) and
+   ``TNT_analysis`` (Fig. 7): base-case inference, assumption
+   specialisation, the temporal reachability graph, per-SCC termination
+   (Farkas ranking synthesis) and non-termination (inductive
+   unreachability) proofs, and abductive case-splitting.
+3. :mod:`repro.core.pipeline` drives whole programs bottom-up over the call
+   graph and produces a :class:`repro.core.specs.CaseSpec` summary per
+   method.
+
+:mod:`repro.core.resources` implements the resource-capacity semantics
+(``RC<L,U>``, the ``-L``/``-U`` operators and the consumption entailment)
+of paper Section 3, and :mod:`repro.core.reverify` re-checks every inferred
+summary through it -- mirroring the paper's optional re-verification step.
+"""
+
+from repro.core.predicates import Term, Loop, MayLoop, TempPred
+from repro.core.specs import CaseSpec, SpecCase
+from repro.core.pipeline import infer_program, infer_source, Verdict, classify
+
+__all__ = [
+    "Term",
+    "Loop",
+    "MayLoop",
+    "TempPred",
+    "CaseSpec",
+    "SpecCase",
+    "infer_program",
+    "infer_source",
+    "Verdict",
+    "classify",
+]

@@ -1,0 +1,78 @@
+"""Case-splitting on abduced conditions (paper Sec. 5.6).
+
+``split`` partitions a set of (possibly overlapping) conditions into
+mutually exclusive, satisfiable regions covering their disjunction;
+``subst_unk`` installs the refined definition: one fresh unknown pair per
+region plus the complement region, so the resulting guard family is
+feasible, exclusive and exhaustive (paper Definition 2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arith.formula import FALSE, Formula, TRUE, conj, disj, neg
+from repro.arith.solver import is_sat, simplify
+from repro.core.specs import Case, DefStore
+
+
+def split(conditions: List[Formula]) -> List[Formula]:
+    """Partition overlapping conditions into exclusive regions.
+
+    The regions are the satisfiable cells of the boolean algebra generated
+    by the conditions, restricted to the union of the conditions; their
+    disjunction is equivalent to ``\\/ conditions``.
+    """
+    if not conditions:
+        return []
+    cells: List[Formula] = [TRUE]
+    for c in conditions:
+        new_cells: List[Formula] = []
+        for cell in cells:
+            inside = conj(cell, c)
+            if is_sat(inside):
+                new_cells.append(inside)
+            outside = conj(cell, neg(c))
+            if is_sat(outside):
+                new_cells.append(outside)
+        cells = new_cells
+    union = disj(*conditions)
+    out: List[Formula] = []
+    for cell in cells:
+        if is_sat(conj(cell, union)):
+            inside = conj(cell, union)
+            out.append(simplify(inside))
+    # Dedup identical regions (simplify is canonical enough in practice;
+    # structural equality is a safe approximation).
+    seen = set()
+    unique: List[Formula] = []
+    for r in out:
+        if r not in seen:
+            seen.add(r)
+            unique.append(r)
+    return unique
+
+
+def subst_unk(store: DefStore, pair: str, conditions: List[Formula]) -> bool:
+    """Refine an unknown pair along *conditions* plus their complement.
+
+    Returns ``False`` (no refinement possible) when the conditions are
+    empty or the split would not change anything -- the caller then marks
+    the pair ``MayLoop`` via ``finalize``.
+    """
+    regions = split(conditions)
+    if not regions:
+        return False
+    complement = simplify(conj(*(neg(c) for c in conditions)))
+    if is_sat(complement):
+        regions = regions + [complement]
+    if len(regions) <= 1:
+        return False
+    args = store.pair_args[pair]
+    base = pair.split("@", 1)[-1]
+    cases: List[Case] = []
+    for region in regions:
+        child = store.new_pair(base, args)
+        cases.append(Case(region, child, child))
+    store.define(pair, cases)
+    return True

@@ -1,0 +1,138 @@
+"""Whole-program driver: bottom-up modular inference over the call graph.
+
+For each call-graph SCC (callees first -- rule [TNT-INF]):
+
+1. attach a fresh unknown pair to every method of the group;
+2. run the assumption-generating verifier over each body;
+3. filter trivial assumptions ([TNT-CALL]);
+4. run :class:`repro.core.solver.TNTSolver` on the group;
+5. flatten the resolved definitions into per-method :class:`CaseSpec`
+   summaries, which subsequent (caller) groups consume -- this is the
+   modularity/reuse claim of the paper.
+
+Programs containing heap statements are numerically abstracted by
+:mod:`repro.seplog` before the pure pipeline runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arith.solver import is_sat
+from repro.core.assumptions import filter_post, filter_trivial
+from repro.core.predicates import Loop, MayLoop, Term
+from repro.core.solver import TNTSolver
+from repro.core.specs import CaseSpec, DefStore
+from repro.core.verifier import MethodAssumptions, Verifier, VerifierError
+from repro.lang import desugar_program, method_sccs, parse_program
+from repro.lang.ast import Program
+
+
+class Verdict(enum.Enum):
+    """Whole-method classification in SV-COMP style."""
+
+    TERMINATING = "Y"       # proven terminating for all inputs
+    NONTERMINATING = "N"    # some input provably diverges
+    UNKNOWN = "U"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class InferenceResult:
+    """Summaries and per-method verdicts for a whole program."""
+
+    program: Program
+    specs: Dict[str, CaseSpec]
+    store: DefStore
+
+    def verdict(self, method: str) -> Verdict:
+        return classify(self.specs[method])
+
+    def pretty(self) -> str:
+        return "\n\n".join(spec.pretty() for spec in self.specs.values())
+
+
+def classify(spec: CaseSpec) -> Verdict:
+    """Collapse a case summary to a Y/N/U verdict.
+
+    ``Y`` -- every feasible case is ``Term`` (termination for all inputs);
+    ``N`` -- some feasible case is ``Loop`` (a diverging input exists);
+    ``U`` -- otherwise (some ``MayLoop`` case and no definite ``Loop``).
+    """
+    has_loop = False
+    has_mayloop = False
+    for case in spec.cases:
+        if not is_sat(case.guard):
+            continue
+        if isinstance(case.pred, Loop):
+            has_loop = True
+        elif isinstance(case.pred, MayLoop):
+            has_mayloop = True
+        elif not isinstance(case.pred, Term):
+            raise TypeError(f"unexpected predicate {case.pred!r}")
+    if has_loop:
+        return Verdict.NONTERMINATING
+    if has_mayloop:
+        return Verdict.UNKNOWN
+    return Verdict.TERMINATING
+
+
+def infer_program(
+    program: Program,
+    max_iter: int = 8,
+    desugared: bool = False,
+    time_budget: float = 30.0,
+) -> InferenceResult:
+    """Infer termination/non-termination summaries for every method."""
+    from repro.seplog.abstraction import abstract_program  # local: optional dep
+
+    if not desugared:
+        program = desugar_program(program)
+    program = abstract_program(program)
+    store = DefStore()
+    solved: Dict[str, CaseSpec] = {}
+    for scc in method_sccs(program):
+        group_methods = [
+            program.methods[name]
+            for name in scc
+            if program.methods[name].body is not None
+        ]
+        if not group_methods:
+            continue
+        pairs = {
+            m.name: f"U0@{m.name}" for m in group_methods
+        }
+        for m in group_methods:
+            store.register_root(pairs[m.name], tuple(m.param_names))
+        verifier = Verifier(program, pairs=pairs, solved=solved)
+        group: List[MethodAssumptions] = []
+        mutual = set(pairs.values())
+        for m in group_methods:
+            ma = verifier.collect(m)
+            ma.pre_assumptions = filter_trivial(
+                ma.pre_assumptions, mutually_recursive=mutual
+            )
+            ma.post_assumptions = filter_post(ma.post_assumptions)
+            group.append(ma)
+        TNTSolver(store, max_iter=max_iter, time_budget=time_budget).solve(group)
+        for m in group_methods:
+            from repro.arith.formula import TRUE as _TRUE
+
+            requires = m.requires if m.requires is not None else _TRUE
+            solved[m.name] = store.case_spec(
+                pairs[m.name], m.name, tuple(m.param_names), context=requires
+            )
+    return InferenceResult(program=program, specs=solved, store=store)
+
+
+def infer_source(
+    source: str, max_iter: int = 8, time_budget: float = 30.0
+) -> InferenceResult:
+    """Parse, desugar and infer a program given as concrete syntax."""
+    return infer_program(
+        parse_program(source), max_iter=max_iter, time_budget=time_budget
+    )

@@ -1,0 +1,143 @@
+"""Temporal predicates: ``Term [e]``, ``Loop``, ``MayLoop`` and the unknown
+pre/post predicates of the inference (paper Sections 2-3).
+
+Known predicates map to resource capacities (:mod:`repro.core.resources`);
+unknown predicates are references ``PreRef``/``PostRef`` to an *unknown
+pair* identified by name, applied to a tuple of argument variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.arith.terms import LinExpr
+from repro.core.resources import INF, LOOP_CAPACITY, MAYLOOP_CAPACITY, RC
+
+
+class TempPred:
+    """Base class of temporal pre-predicates."""
+
+    __slots__ = ()
+
+    def is_known(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Term(TempPred):
+    """Definite termination with lexicographic measure ``[e1, ..., ek]``.
+
+    ``Term`` with an empty measure denotes base-case termination
+    (written ``Term`` for ``Term []`` in the paper).
+    """
+
+    measure: Tuple[LinExpr, ...] = ()
+
+    def capacity(self, bound: int = 0) -> RC:
+        """``Term [e] = RC<0, f([e])>`` -- *bound* stands for the
+        order-embedding ``f([e])`` at a given state."""
+        return RC(0, bound)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Term":
+        return Term(tuple(e.rename(mapping) for e in self.measure))
+
+    def __repr__(self) -> str:
+        if not self.measure:
+            return "Term"
+        return f"Term[{', '.join(str(e) for e in self.measure)}]"
+
+
+@dataclass(frozen=True)
+class Loop(TempPred):
+    """Definite non-termination: capacity ``RC<inf, inf>``."""
+
+    def capacity(self) -> RC:
+        return LOOP_CAPACITY
+
+    def rename(self, mapping: Mapping[str, str]) -> "Loop":
+        return self
+
+    def __repr__(self) -> str:
+        return "Loop"
+
+
+@dataclass(frozen=True)
+class MayLoop(TempPred):
+    """Possible non-termination: capacity ``RC<0, inf>`` -- the strongest
+    pre-predicate in the ``=>r`` hierarchy (analogous to ``false``)."""
+
+    def capacity(self) -> RC:
+        return MAYLOOP_CAPACITY
+
+    def rename(self, mapping: Mapping[str, str]) -> "MayLoop":
+        return self
+
+    def __repr__(self) -> str:
+        return "MayLoop"
+
+
+LOOP = Loop()
+MAYLOOP = MayLoop()
+TERM = Term(())
+
+
+def implies_r(stronger: TempPred, weaker: TempPred) -> bool:
+    """The resource implication ``=>r`` on known predicates.
+
+    ``MayLoop =>r Loop`` and ``MayLoop =>r Term [e]``; ``Loop`` and
+    ``Term`` are incomparable; every predicate implies itself.
+    """
+    if isinstance(stronger, MayLoop):
+        return True
+    if isinstance(stronger, Loop):
+        return isinstance(weaker, Loop)
+    if isinstance(stronger, Term):
+        # Term[e1] =>r Term[e2] requires capacity containment; without state
+        # information we only claim reflexivity on equal measures.
+        return isinstance(weaker, Term) and stronger.measure == weaker.measure
+    raise TypeError(f"unknown temporal predicate {stronger!r}")
+
+
+@dataclass(frozen=True)
+class PreRef(TempPred):
+    """An occurrence ``Upr(v1, ..., vn)`` of an unknown pre-predicate."""
+
+    name: str
+    args: Tuple[str, ...]
+
+    def is_known(self) -> bool:
+        return False
+
+    def rename(self, mapping: Mapping[str, str]) -> "PreRef":
+        return PreRef(self.name, tuple(mapping.get(a, a) for a in self.args))
+
+    def __repr__(self) -> str:
+        return f"{self.name}_pr({', '.join(self.args)})"
+
+
+@dataclass(frozen=True)
+class PostRef:
+    """An occurrence ``Upo(v1, ..., vn)`` of an unknown post-predicate."""
+
+    name: str
+    args: Tuple[str, ...]
+
+    def rename(self, mapping: Mapping[str, str]) -> "PostRef":
+        return PostRef(self.name, tuple(mapping.get(a, a) for a in self.args))
+
+    def __repr__(self) -> str:
+        return f"{self.name}_po({', '.join(self.args)})"
+
+
+# Post-predicate *values* once resolved: reachable / unreachable.
+@dataclass(frozen=True)
+class PostVal:
+    reachable: bool
+
+    def __repr__(self) -> str:
+        return "true" if self.reachable else "false"
+
+
+POST_TRUE = PostVal(True)
+POST_FALSE = PostVal(False)

@@ -1,0 +1,110 @@
+"""The temporal reachability graph (paper Definition 4 and Sec. 5.3).
+
+Vertices are leaf unknown pre-predicates plus three sinks -- ``Term``,
+``Loop`` and ``MayLoop``.  Every specialised pre-assumption
+``rho /\\ theta_a => theta_c`` contributes an edge from ``theta_a`` to
+``theta_c`` labelled with its context ``rho`` (and the argument tuples, so
+that ranking synthesis can relate caller and callee parameters).
+
+The solver walks the condensation of this graph bottom-up
+(callee-SCCs first), mirroring the paper's support for phase-change
+programs and mutual recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.arith.formula import Formula
+from repro.core.assumptions import PreAssume
+from repro.core.predicates import Loop, MayLoop, PreRef, Term
+
+TERM_NODE = "<Term>"
+LOOP_NODE = "<Loop>"
+MAYLOOP_NODE = "<MayLoop>"
+_SINKS = (TERM_NODE, LOOP_NODE, MAYLOOP_NODE)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A labelled reachability edge between unknown pre-predicates."""
+
+    src: str
+    dst: str                  # pair name or one of the sink nodes
+    ctx: Formula
+    src_args: Tuple[str, ...]
+    dst_args: Tuple[str, ...]  # empty for sink nodes
+
+    def __repr__(self) -> str:
+        return f"{self.src} --{self.ctx!r}--> {self.dst}"
+
+
+class ReachGraph:
+    """Temporal reachability graph over specialised pre-assumptions."""
+
+    def __init__(self, assumptions: List[PreAssume]):
+        self.edges: List[Edge] = []
+        self.graph = nx.DiGraph()
+        for a in assumptions:
+            if not isinstance(a.lhs, PreRef):
+                continue
+            src = a.lhs.name
+            src_args = a.lhs.args
+            if isinstance(a.rhs, PreRef):
+                dst, dst_args = a.rhs.name, a.rhs.args
+            elif isinstance(a.rhs, Term):
+                dst, dst_args = TERM_NODE, ()
+            elif isinstance(a.rhs, Loop):
+                dst, dst_args = LOOP_NODE, ()
+            elif isinstance(a.rhs, MayLoop):
+                dst, dst_args = MAYLOOP_NODE, ()
+            else:
+                raise TypeError(f"unexpected RHS {a.rhs!r}")
+            edge = Edge(src, dst, a.ctx, src_args, dst_args)
+            self.edges.append(edge)
+            self.graph.add_node(src)
+            self.graph.add_node(dst)
+            self.graph.add_edge(src, dst)
+
+    def add_vertices(self, names: List[str]) -> None:
+        """Make sure isolated unknowns (no assumptions at all) appear."""
+        for n in names:
+            self.graph.add_node(n)
+
+    def sccs_bottom_up(self) -> List[List[str]]:
+        """Unknown-predicate SCCs, successors first; sinks excluded."""
+        condensation = nx.condensation(self.graph)
+        order = list(nx.topological_sort(condensation))
+        out: List[List[str]] = []
+        for node in reversed(order):
+            members = sorted(
+                m for m in condensation.nodes[node]["members"]
+                if m not in _SINKS
+            )
+            if members:
+                out.append(members)
+        return out
+
+    def scc_succ(self, scc: List[str]) -> Set[str]:
+        """Outside successors of an SCC (paper Definition 5)."""
+        members = set(scc)
+        out: Set[str] = set()
+        for v in scc:
+            for succ in self.graph.successors(v):
+                if succ not in members:
+                    out.add(succ)
+        return out
+
+    def internal_edges(self, scc: List[str]) -> List[Edge]:
+        members = set(scc)
+        return [e for e in self.edges if e.src in members and e.dst in members]
+
+    def has_cycle(self, scc: List[str]) -> bool:
+        members = set(scc)
+        if len(members) > 1:
+            return True
+        node = scc[0]
+        return self.graph.has_edge(node, node)

@@ -1,0 +1,169 @@
+r"""Resource-capacity semantics of the temporal predicates (paper Sec. 3).
+
+The temporal predicates are defined through execution-length capacities::
+
+    Term [e]  =df  RC<0, f([e])>
+    Loop      =df  RC<inf, inf>
+    MayLoop   =df  RC<0, inf>
+
+over the naturals extended with infinity.  The two subtraction operators
+
+    L1 -L L2  =  min { r in N_inf | r + L2 >= L1 }
+    U1 -U U2  =  max { r in N_inf | r + U2 <= U1 }   (requires U1 >= U2)
+
+are "best residue" subtractions: never negative, with ``inf -L inf = 0``
+and ``inf -U inf = inf``.  The consumption entailment
+
+    rho /\ RC<La,Ua> |-t RC<Lc,Uc>  ~>  RC<Lr,Ur>
+
+checks ``Uc <= Ua`` (enough upper capacity) and returns the residue
+capacity; the subsumption relation ``=>r`` compares capacities by interval
+containment.  These definitions are exercised directly by the property
+tests and by :mod:`repro.core.reverify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+class _Infinity:
+    """The single infinite value of ``N_inf`` (comparable with ints)."""
+
+    _instance: Optional["_Infinity"] = None
+
+    def __new__(cls) -> "_Infinity":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "INF"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Infinity)
+
+    def __hash__(self) -> int:
+        return hash("N_inf.INF")
+
+    def __lt__(self, other: "NatInf") -> bool:
+        return False
+
+    def __le__(self, other: "NatInf") -> bool:
+        return isinstance(other, _Infinity)
+
+    def __gt__(self, other: "NatInf") -> bool:
+        return not isinstance(other, _Infinity)
+
+    def __ge__(self, other: "NatInf") -> bool:
+        return True
+
+
+INF = _Infinity()
+NatInf = Union[int, _Infinity]
+
+
+def _check_nat(v: NatInf) -> NatInf:
+    if isinstance(v, _Infinity):
+        return v
+    if isinstance(v, int) and not isinstance(v, bool) and v >= 0:
+        return v
+    raise ValueError(f"not a value of N_inf: {v!r}")
+
+
+def nat_le(a: NatInf, b: NatInf) -> bool:
+    """``a <= b`` in N_inf."""
+    if isinstance(a, _Infinity):
+        return isinstance(b, _Infinity)
+    if isinstance(b, _Infinity):
+        return True
+    return a <= b
+
+
+def nat_add(a: NatInf, b: NatInf) -> NatInf:
+    if isinstance(a, _Infinity) or isinstance(b, _Infinity):
+        return INF
+    return a + b
+
+
+def sub_lower(l1: NatInf, l2: NatInf) -> NatInf:
+    """``L1 -L L2 = min { r | r + L2 >= L1 }`` (never negative;
+    ``inf -L inf = 0``)."""
+    _check_nat(l1)
+    _check_nat(l2)
+    if isinstance(l2, _Infinity):
+        # r + inf >= anything for every r, so the minimum is 0
+        return 0
+    if isinstance(l1, _Infinity):
+        # r + finite >= inf only for r = inf
+        return INF
+    return max(0, l1 - l2)
+
+
+def sub_upper(u1: NatInf, u2: NatInf) -> NatInf:
+    """``U1 -U U2 = max { r | r + U2 <= U1 }``, defined when ``U1 >= U2``
+    (``inf -U inf = inf``)."""
+    _check_nat(u1)
+    _check_nat(u2)
+    if not nat_le(u2, u1):
+        raise ValueError(f"U1 -U U2 undefined for U1={u1!r} < U2={u2!r}")
+    if isinstance(u1, _Infinity):
+        # r + U2 <= inf for every r, so the maximum is inf
+        return INF
+    # here u2 is finite because u2 <= u1 < inf
+    assert not isinstance(u2, _Infinity)
+    return u1 - u2
+
+
+@dataclass(frozen=True)
+class RC:
+    """A resource capacity ``RC<L, U>`` with ``L, U in N_inf``.
+
+    A program state with actual capacity ``(l, u)`` satisfies ``RC<L, U>``
+    when ``L <= l`` and ``u <= U``.
+    """
+
+    lower: NatInf
+    upper: NatInf
+
+    def __post_init__(self) -> None:
+        _check_nat(self.lower)
+        _check_nat(self.upper)
+
+    def is_wellformed(self) -> bool:
+        """Lower bound must not exceed upper bound."""
+        return nat_le(self.lower, self.upper)
+
+    def subsumes(self, other: "RC") -> bool:
+        """``self =>r other`` (paper's resource implication): the interval
+        of *self* contains the interval of *other*."""
+        return nat_le(self.lower, other.lower) and nat_le(other.upper, self.upper)
+
+    def __repr__(self) -> str:
+        return f"RC<{self.lower!r}, {self.upper!r}>"
+
+
+# Canonical capacities of the three known predicates.
+TERM_CAPACITY = lambda bound: RC(0, bound)  # noqa: E731 - mirrors the paper
+LOOP_CAPACITY = RC(INF, INF)
+MAYLOOP_CAPACITY = RC(0, INF)
+
+
+def consume(available: RC, required: RC) -> Optional[RC]:
+    """The consumption entailment ``RC<La,Ua> |-t RC<Lc,Uc> ~> RC<Lr,Ur>``.
+
+    Returns the residue capacity, or ``None`` when the side conditions
+    (``Uc <= Ua`` and residue wellformedness ``Lr <= Ur``) fail.
+    """
+    if not nat_le(required.upper, available.upper):
+        return None
+    lr = sub_lower(available.lower, required.lower)
+    try:
+        ur = sub_upper(available.upper, required.upper)
+    except ValueError:
+        return None
+    residue = RC(lr, ur)
+    if not residue.is_wellformed():
+        return None
+    return residue

@@ -1,0 +1,52 @@
+"""Core imperative language (paper Fig. 5) plus convenience sugar.
+
+The language of the paper is a first-order imperative language with integer
+and pointer data, method calls, and conditionals; ``while`` loops are sugar
+that the desugarer rewrites into tail-recursive methods, exactly as the
+paper assumes ("this core language does not include the while-loop
+construct, as it assumes an automatic translation of loops into
+tail-recursive methods").
+
+Modules:
+
+* :mod:`repro.lang.ast` -- abstract syntax (expressions, statements,
+  methods, data declarations, programs).
+* :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` -- a hand-written
+  recursive-descent frontend for a small C-like concrete syntax.
+* :mod:`repro.lang.desugar` -- while->tail-recursion rewriting and
+  expression-call flattening.
+* :mod:`repro.lang.callgraph` -- call graph and SCC condensation.
+* :mod:`repro.lang.interp` -- a fuel-bounded concrete interpreter used as a
+  ground-truth oracle by the test suite.
+* :mod:`repro.lang.pretty` -- pretty printer (round-trips with the parser).
+"""
+
+from repro.lang.ast import (
+    Program,
+    Method,
+    Param,
+    DataDecl,
+    IntType,
+    BoolType,
+    VoidType,
+    NamedType,
+)
+from repro.lang.parser import parse_program, ParseError
+from repro.lang.desugar import desugar_program
+from repro.lang.callgraph import call_graph, method_sccs
+
+__all__ = [
+    "Program",
+    "Method",
+    "Param",
+    "DataDecl",
+    "IntType",
+    "BoolType",
+    "VoidType",
+    "NamedType",
+    "parse_program",
+    "ParseError",
+    "desugar_program",
+    "call_graph",
+    "method_sccs",
+]

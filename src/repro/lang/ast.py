@@ -1,0 +1,529 @@
+"""Abstract syntax for the core imperative language of the paper (Fig. 5).
+
+Expressions
+-----------
+Arithmetic expressions are linear (``k``, ``v``, ``k*e``, ``e1+e2``, ``-e``)
+per the paper's grammar; the parser additionally accepts ``e1-e2`` and
+``e1*e2`` with one constant operand, both of which normalise into the
+grammar.  ``Nondet`` models SV-COMP's ``__VERIFIER_nondet_int()``.
+
+Statements
+----------
+``While`` is sugar (removed by :mod:`repro.lang.desugar`).  ``CallStmt`` and
+``CallExpr`` cover calls in statement and expression position;
+the desugarer flattens nested call expressions into temporaries so the
+verifier only ever sees calls whose arguments are pure expressions.
+
+Specifications
+--------------
+A method may carry a *safety* specification: ``requires`` (pure formula over
+parameters) and ``ensures`` (pure formula over parameters and ``res``).
+Heap specifications (separation-logic) are attached via ``heap_pre`` /
+``heap_post`` and consumed by :mod:`repro.seplog`.  Temporal (termination)
+specifications are never written by the user in this reproduction: the
+inference attaches unknown pre/post predicates automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntType:
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class BoolType:
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class VoidType:
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class NamedType:
+    """A user-declared data (record/pointer) type."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Type = Union[IntType, BoolType, VoidType, NamedType]
+
+INT = IntType()
+BOOL = BoolType()
+VOID = VoidType()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of all expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class NullLit(Expr):
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """``-e`` or ``!e``."""
+
+    op: str
+    arg: Expr
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.arg})"
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Arithmetic (+, -, *), comparison (<, <=, >, >=, ==, !=) or boolean
+    (&&, ||) operator application."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class FieldRead(Expr):
+    """``v.f``"""
+
+    base: Expr
+    fieldname: str
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.fieldname}"
+
+
+@dataclass(frozen=True)
+class CallExpr(Expr):
+    """``mn(args)`` in expression position."""
+
+    name: str
+    args: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Nondet(Expr):
+    """``nondet()`` -- an unconstrained integer input."""
+
+    def __str__(self) -> str:
+        return "nondet()"
+
+
+@dataclass(frozen=True)
+class NewExpr(Expr):
+    """``new c(args)`` heap allocation."""
+
+    type_name: str
+    args: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"new {self.type_name}({', '.join(map(str, self.args))})"
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of all statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    def __str__(self) -> str:
+        return "skip;"
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    type: Type
+    name: str
+    init: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        if self.init is None:
+            return f"{self.type} {self.name};"
+        return f"{self.type} {self.name} = {self.init};"
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    name: str
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.value};"
+
+
+@dataclass(frozen=True)
+class FieldWrite(Stmt):
+    """``v.f = e;``"""
+
+    base: str
+    fieldname: str
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"{self.base}.{self.fieldname} = {self.value};"
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    name: str
+    args: Tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))});"
+
+
+@dataclass(frozen=True)
+class Seq(Stmt):
+    stmts: Tuple[Stmt, ...]
+
+    def __str__(self) -> str:
+        return " ".join(map(str, self.stmts))
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    els: Stmt
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) {{ {self.then} }} else {{ {self.els} }}"
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+    def __str__(self) -> str:
+        return f"while ({self.cond}) {{ {self.body} }}"
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+    def __str__(self) -> str:
+        return "return;" if self.value is None else f"return {self.value};"
+
+
+@dataclass(frozen=True)
+class Assume(Stmt):
+    """``assume(b);`` -- prune executions violating *b* (used by the
+    desugarer for loop-exit conditions and available in source)."""
+
+    cond: Expr
+
+    def __str__(self) -> str:
+        return f"assume({self.cond});"
+
+
+@dataclass(frozen=True)
+class Havoc(Stmt):
+    """``havoc x, y;`` -- forget the values of the named variables."""
+
+    names: Tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"havoc {', '.join(self.names)};"
+
+
+def seq(*stmts: Stmt) -> Stmt:
+    """Flattening sequence constructor."""
+    flat: List[Stmt] = []
+    for s in stmts:
+        if isinstance(s, Seq):
+            flat.extend(s.stmts)
+        elif isinstance(s, Skip):
+            continue
+        else:
+            flat.append(s)
+    if not flat:
+        return Skip()
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Param:
+    type: Type
+    name: str
+    by_ref: bool = False
+
+    def __str__(self) -> str:
+        prefix = "ref " if self.by_ref else ""
+        return f"{prefix}{self.type} {self.name}"
+
+
+@dataclass(frozen=True)
+class DataDecl:
+    """``data c { t1 f1; t2 f2; ... }``"""
+
+    name: str
+    fields: Tuple[Param, ...]
+
+    def field_names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def __str__(self) -> str:
+        body = " ".join(f"{f.type} {f.name};" for f in self.fields)
+        return f"data {self.name} {{ {body} }}"
+
+
+@dataclass
+class Method:
+    """A method declaration with optional safety/heap specifications."""
+
+    ret_type: Type
+    name: str
+    params: List[Param]
+    body: Optional[Stmt]
+    requires: Optional[object] = None   # arith.Formula (pure precondition)
+    ensures: Optional[object] = None    # arith.Formula over params + 'res'
+    heap_specs: List[object] = field(default_factory=list)  # seplog specs
+    is_primitive: bool = False
+    source_loop: bool = False           # True for desugared while-loops
+
+    @property
+    def param_names(self) -> List[str]:
+        return [p.name for p in self.params]
+
+    def __str__(self) -> str:
+        ps = ", ".join(map(str, self.params))
+        return f"{self.ret_type} {self.name}({ps})"
+
+
+@dataclass
+class Program:
+    data_decls: Dict[str, DataDecl]
+    methods: Dict[str, Method]
+
+    def method(self, name: str) -> Method:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise KeyError(f"no method named {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+
+
+def expr_calls(e: Expr) -> List[CallExpr]:
+    """All call expressions nested inside *e* (pre-order)."""
+    out: List[CallExpr] = []
+
+    def walk(x: Expr) -> None:
+        if isinstance(x, CallExpr):
+            out.append(x)
+            for a in x.args:
+                walk(a)
+        elif isinstance(x, Unary):
+            walk(x.arg)
+        elif isinstance(x, Binary):
+            walk(x.left)
+            walk(x.right)
+        elif isinstance(x, FieldRead):
+            walk(x.base)
+        elif isinstance(x, NewExpr):
+            for a in x.args:
+                walk(a)
+
+    walk(e)
+    return out
+
+
+def stmt_calls(s: Stmt) -> List[str]:
+    """Names of all methods called (directly or in expressions) in *s*."""
+    out: List[str] = []
+
+    def walk_expr(e: Expr) -> None:
+        for c in expr_calls(e):
+            out.append(c.name)
+
+    def walk(x: Stmt) -> None:
+        if isinstance(x, (Skip, Havoc)):
+            return
+        if isinstance(x, VarDecl):
+            if x.init is not None:
+                walk_expr(x.init)
+        elif isinstance(x, Assign):
+            walk_expr(x.value)
+        elif isinstance(x, FieldWrite):
+            walk_expr(x.value)
+        elif isinstance(x, CallStmt):
+            out.append(x.name)
+            for a in x.args:
+                walk_expr(a)
+        elif isinstance(x, Seq):
+            for t in x.stmts:
+                walk(t)
+        elif isinstance(x, If):
+            walk_expr(x.cond)
+            walk(x.then)
+            walk(x.els)
+        elif isinstance(x, While):
+            walk_expr(x.cond)
+            walk(x.body)
+        elif isinstance(x, Return):
+            if x.value is not None:
+                walk_expr(x.value)
+        elif isinstance(x, Assume):
+            walk_expr(x.cond)
+        else:
+            raise TypeError(f"unknown statement {type(x).__name__}")
+
+    walk(s)
+    return out
+
+
+def expr_vars(e: Expr) -> frozenset:
+    """Free variables of an expression."""
+    out = set()
+
+    def walk(x: Expr) -> None:
+        if isinstance(x, Var):
+            out.add(x.name)
+        elif isinstance(x, Unary):
+            walk(x.arg)
+        elif isinstance(x, Binary):
+            walk(x.left)
+            walk(x.right)
+        elif isinstance(x, FieldRead):
+            walk(x.base)
+        elif isinstance(x, (CallExpr, NewExpr)):
+            for a in x.args:
+                walk(a)
+
+    walk(e)
+    return frozenset(out)
+
+
+def stmt_assigned_vars(s: Stmt) -> frozenset:
+    """Variables assigned (or havocked / declared) anywhere in *s*."""
+    out = set()
+
+    def walk(x: Stmt) -> None:
+        if isinstance(x, VarDecl):
+            out.add(x.name)
+        elif isinstance(x, Assign):
+            out.add(x.name)
+        elif isinstance(x, Havoc):
+            out.update(x.names)
+        elif isinstance(x, Seq):
+            for t in x.stmts:
+                walk(t)
+        elif isinstance(x, If):
+            walk(x.then)
+            walk(x.els)
+        elif isinstance(x, While):
+            walk(x.body)
+
+    walk(s)
+    return frozenset(out)
+
+
+def stmt_used_vars(s: Stmt) -> frozenset:
+    """Variables read anywhere in *s* (over-approximate)."""
+    out = set()
+
+    def walk(x: Stmt) -> None:
+        if isinstance(x, VarDecl):
+            if x.init is not None:
+                out.update(expr_vars(x.init))
+        elif isinstance(x, Assign):
+            out.update(expr_vars(x.value))
+        elif isinstance(x, FieldWrite):
+            out.add(x.base)
+            out.update(expr_vars(x.value))
+        elif isinstance(x, CallStmt):
+            for a in x.args:
+                out.update(expr_vars(a))
+        elif isinstance(x, Seq):
+            for t in x.stmts:
+                walk(t)
+        elif isinstance(x, If):
+            out.update(expr_vars(x.cond))
+            walk(x.then)
+            walk(x.els)
+        elif isinstance(x, While):
+            out.update(expr_vars(x.cond))
+            walk(x.body)
+        elif isinstance(x, Return):
+            if x.value is not None:
+                out.update(expr_vars(x.value))
+        elif isinstance(x, Assume):
+            out.update(expr_vars(x.cond))
+
+    walk(s)
+    return frozenset(out)

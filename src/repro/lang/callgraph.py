@@ -1,0 +1,69 @@
+"""Call graph construction and SCC condensation over program methods.
+
+The inference processes mutually recursive groups bottom-up
+(rule [TNT-INF] of the paper); :func:`method_sccs` returns the strongly
+connected components of the call graph in reverse-topological (callee-first)
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import networkx as nx
+
+from repro.lang.ast import Program, stmt_calls
+
+
+def call_graph(program: Program) -> "nx.DiGraph":
+    """Directed graph: edge ``m -> n`` when method *m* calls *n*."""
+    g = nx.DiGraph()
+    for name in program.methods:
+        g.add_node(name)
+    for name, method in program.methods.items():
+        if method.body is None:
+            continue
+        for callee in stmt_calls(method.body):
+            if callee in program.methods:
+                g.add_edge(name, callee)
+    return g
+
+
+def method_sccs(program: Program) -> List[List[str]]:
+    """SCCs of the call graph, callees before callers.
+
+    Each SCC is sorted by name for determinism.
+    """
+    g = call_graph(program)
+    condensation = nx.condensation(g)
+    order = list(nx.topological_sort(condensation))
+    sccs: List[List[str]] = []
+    for node in reversed(order):
+        members = sorted(condensation.nodes[node]["members"])
+        sccs.append(members)
+    return sccs
+
+
+def is_recursive_scc(program: Program, scc: List[str]) -> bool:
+    """Whether the SCC contains a (mutual) recursion."""
+    if len(scc) > 1:
+        return True
+    name = scc[0]
+    method = program.methods[name]
+    if method.body is None:
+        return False
+    return name in stmt_calls(method.body)
+
+
+def reachable_methods(program: Program, roots: List[str]) -> Set[str]:
+    """All methods transitively callable from *roots*."""
+    g = call_graph(program)
+    seen: Set[str] = set()
+    stack = [r for r in roots if r in program.methods]
+    while stack:
+        m = stack.pop()
+        if m in seen:
+            continue
+        seen.add(m)
+        stack.extend(g.successors(m))
+    return seen

@@ -1,0 +1,129 @@
+"""Tokenizer for the C-like concrete syntax of the core language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+KEYWORDS = {
+    "data",
+    "int",
+    "bool",
+    "void",
+    "if",
+    "else",
+    "while",
+    "return",
+    "requires",
+    "ensures",
+    "assume",
+    "havoc",
+    "null",
+    "true",
+    "false",
+    "nondet",
+    "new",
+    "ref",
+}
+
+SYMBOLS = [
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<",
+    ">",
+    "=",
+    "+",
+    "-",
+    "*",
+    "!",
+    "(",
+    ")",
+    "{",
+    "}",
+    ";",
+    ",",
+    ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'int' | 'kw' | 'sym' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}@{self.line}:{self.col}"
+
+
+class LexError(Exception):
+    """Raised on unexpected input characters."""
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*, skipping whitespace and ``//`` / ``/* */``
+    comments.  Raises :class:`LexError` on unknown characters."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"unterminated comment at line {line}")
+            for c in source[i:end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            text = source[start:i]
+            tokens.append(Token("int", text, line, col))
+            col += len(text)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += len(text)
+            continue
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("sym", sym, line, col))
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at line {line}, col {col}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

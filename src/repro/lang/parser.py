@@ -1,0 +1,400 @@
+"""Recursive-descent parser for the core language's concrete syntax.
+
+Grammar sketch (see tests for worked examples)::
+
+    program  := (datadecl | method)*
+    datadecl := 'data' IDENT '{' (type IDENT ';')* '}'
+    method   := type IDENT '(' params ')' spec? block
+    spec     := ('requires' expr)? ('ensures' expr)? ';'
+    params   := (('ref'? type IDENT) (',' 'ref'? type IDENT)*)?
+    block    := '{' stmt* '}'
+    stmt     := block | 'if' '(' expr ')' stmt ('else' stmt)?
+              | 'while' '(' expr ')' stmt
+              | 'return' expr? ';' | 'assume' '(' expr ')' ';'
+              | 'havoc' IDENT (',' IDENT)* ';'
+              | type IDENT ('=' expr)? ';'
+              | IDENT '=' expr ';' | IDENT '.' IDENT '=' expr ';'
+              | IDENT '(' args ')' ';'
+    expr     := disjunction with usual C precedence
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang import ast
+from repro.lang.ast import (
+    Assign,
+    Assume,
+    Binary,
+    BoolLit,
+    CallExpr,
+    CallStmt,
+    DataDecl,
+    Expr,
+    FieldRead,
+    FieldWrite,
+    Havoc,
+    If,
+    IntLit,
+    Method,
+    NewExpr,
+    Nondet,
+    NullLit,
+    Param,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    Type,
+    Unary,
+    Var,
+    VarDecl,
+    While,
+    seq,
+)
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised when the token stream does not match the grammar."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, text: str) -> bool:
+        return self.peek().text == text and self.peek().kind in ("sym", "kw")
+
+    def accept(self, text: str) -> bool:
+        if self.check(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        tok = self.peek()
+        if not self.check(text):
+            raise ParseError(
+                f"expected {text!r} but found {tok.text!r} "
+                f"at line {tok.line}, col {tok.col}"
+            )
+        return self.advance()
+
+    def expect_ident(self) -> str:
+        tok = self.peek()
+        if tok.kind != "ident":
+            raise ParseError(
+                f"expected identifier but found {tok.text!r} "
+                f"at line {tok.line}, col {tok.col}"
+            )
+        self.advance()
+        return tok.text
+
+    # -- types ---------------------------------------------------------------
+
+    def at_type(self) -> bool:
+        tok = self.peek()
+        if tok.kind == "kw" and tok.text in ("int", "bool", "void"):
+            return True
+        # a named type is IDENT followed by IDENT (declaration position)
+        return tok.kind == "ident" and self.peek(1).kind == "ident"
+
+    def parse_type(self) -> Type:
+        tok = self.advance()
+        if tok.text == "int":
+            return ast.INT
+        if tok.text == "bool":
+            return ast.BOOL
+        if tok.text == "void":
+            return ast.VOID
+        if tok.kind == "ident":
+            return ast.NamedType(tok.text)
+        raise ParseError(f"expected a type, found {tok.text!r} at line {tok.line}")
+
+    # -- program ---------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        data_decls = {}
+        methods = {}
+        while self.peek().kind != "eof":
+            if self.check("data"):
+                d = self.parse_data_decl()
+                if d.name in data_decls:
+                    raise ParseError(f"duplicate data declaration {d.name!r}")
+                data_decls[d.name] = d
+            else:
+                m = self.parse_method()
+                if m.name in methods:
+                    raise ParseError(f"duplicate method {m.name!r}")
+                methods[m.name] = m
+        return Program(data_decls=data_decls, methods=methods)
+
+    def parse_data_decl(self) -> DataDecl:
+        self.expect("data")
+        name = self.expect_ident()
+        self.expect("{")
+        fields: List[Param] = []
+        while not self.check("}"):
+            ftype = self.parse_type()
+            fname = self.expect_ident()
+            self.expect(";")
+            fields.append(Param(ftype, fname))
+        self.expect("}")
+        return DataDecl(name=name, fields=tuple(fields))
+
+    def parse_method(self) -> Method:
+        ret_type = self.parse_type()
+        name = self.expect_ident()
+        self.expect("(")
+        params: List[Param] = []
+        if not self.check(")"):
+            while True:
+                by_ref = self.accept("ref")
+                ptype = self.parse_type()
+                pname = self.expect_ident()
+                params.append(Param(ptype, pname, by_ref=by_ref))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        requires_expr: Optional[Expr] = None
+        ensures_expr: Optional[Expr] = None
+        has_spec = False
+        if self.check("requires"):
+            self.advance()
+            requires_expr = self.parse_expr()
+            has_spec = True
+        if self.check("ensures"):
+            self.advance()
+            ensures_expr = self.parse_expr()
+            has_spec = True
+        consumed_semi = False
+        if has_spec:
+            consumed_semi = self.accept(";")
+        if not self.check("{") and (consumed_semi or self.accept(";")):
+            body: Optional[Stmt] = None  # primitive / declared-only method
+        else:
+            body = self.parse_block()
+        from repro.lang.to_arith import expr_to_formula
+
+        return Method(
+            ret_type=ret_type,
+            name=name,
+            params=params,
+            body=body,
+            requires=(
+                expr_to_formula(requires_expr) if requires_expr is not None else None
+            ),
+            ensures=(
+                expr_to_formula(ensures_expr) if ensures_expr is not None else None
+            ),
+            is_primitive=body is None,
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_block(self) -> Stmt:
+        self.expect("{")
+        stmts: List[Stmt] = []
+        while not self.check("}"):
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return seq(*stmts)
+
+    def parse_stmt(self) -> Stmt:
+        if self.check("{"):
+            return self.parse_block()
+        if self.accept("if"):
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            then = self.parse_stmt()
+            els: Stmt = Skip()
+            if self.accept("else"):
+                els = self.parse_stmt()
+            return If(cond, then, els)
+        if self.accept("while"):
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            body = self.parse_stmt()
+            return While(cond, body)
+        if self.accept("return"):
+            if self.accept(";"):
+                return Return(None)
+            value = self.parse_expr()
+            self.expect(";")
+            return Return(value)
+        if self.accept("assume"):
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return Assume(cond)
+        if self.accept("havoc"):
+            names = [self.expect_ident()]
+            while self.accept(","):
+                names.append(self.expect_ident())
+            self.expect(";")
+            return Havoc(tuple(names))
+        if self.at_type():
+            vtype = self.parse_type()
+            name = self.expect_ident()
+            init: Optional[Expr] = None
+            if self.accept("="):
+                init = self.parse_expr()
+            self.expect(";")
+            return VarDecl(vtype, name, init)
+        # assignment / field write / call statement
+        name = self.expect_ident()
+        if self.accept("."):
+            fieldname = self.expect_ident()
+            self.expect("=")
+            value = self.parse_expr()
+            self.expect(";")
+            return FieldWrite(name, fieldname, value)
+        if self.accept("="):
+            value = self.parse_expr()
+            self.expect(";")
+            return Assign(name, value)
+        if self.check("("):
+            self.advance()
+            args = self.parse_args()
+            self.expect(")")
+            self.expect(";")
+            return CallStmt(name, tuple(args))
+        tok = self.peek()
+        raise ParseError(
+            f"unexpected token {tok.text!r} after {name!r} "
+            f"at line {tok.line}, col {tok.col}"
+        )
+
+    def parse_args(self) -> List[Expr]:
+        args: List[Expr] = []
+        if not self.check(")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept(","):
+                    break
+        return args
+
+    # -- expressions (precedence climbing) -----------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.check("||"):
+            self.advance()
+            right = self.parse_and()
+            left = Binary("||", left, right)
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_cmp()
+        while self.check("&&"):
+            self.advance()
+            right = self.parse_cmp()
+            left = Binary("&&", left, right)
+        return left
+
+    def parse_cmp(self) -> Expr:
+        left = self.parse_add()
+        for op in ("<=", ">=", "==", "!=", "<", ">"):
+            if self.check(op):
+                self.advance()
+                right = self.parse_add()
+                return Binary(op, left, right)
+        return left
+
+    def parse_add(self) -> Expr:
+        left = self.parse_mul()
+        while self.check("+") or self.check("-"):
+            op = self.advance().text
+            right = self.parse_mul()
+            left = Binary(op, left, right)
+        return left
+
+    def parse_mul(self) -> Expr:
+        left = self.parse_unary()
+        while self.check("*"):
+            self.advance()
+            right = self.parse_unary()
+            left = Binary("*", left, right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept("-"):
+            return Unary("-", self.parse_unary())
+        if self.accept("!"):
+            return Unary("!", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return IntLit(int(tok.text))
+        if self.accept("true"):
+            return BoolLit(True)
+        if self.accept("false"):
+            return BoolLit(False)
+        if self.accept("null"):
+            return NullLit()
+        if self.accept("nondet"):
+            self.expect("(")
+            self.expect(")")
+            return Nondet()
+        if self.accept("new"):
+            type_name = self.expect_ident()
+            self.expect("(")
+            args = self.parse_args()
+            self.expect(")")
+            return NewExpr(type_name, tuple(args))
+        if self.accept("("):
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if tok.kind == "ident":
+            name = self.expect_ident()
+            if self.check("("):
+                self.advance()
+                args = self.parse_args()
+                self.expect(")")
+                return CallExpr(name, tuple(args))
+            expr: Expr = Var(name)
+            while self.accept("."):
+                expr = FieldRead(expr, self.expect_ident())
+            return expr
+        raise ParseError(
+            f"unexpected token {tok.text!r} at line {tok.line}, col {tok.col}"
+        )
+
+
+def parse_program(source: str) -> Program:
+    """Parse a whole program from concrete syntax."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression (used by tests and spec strings)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    if parser.peek().kind != "eof":
+        tok = parser.peek()
+        raise ParseError(f"trailing input {tok.text!r} at line {tok.line}")
+    return expr

@@ -1,0 +1,76 @@
+"""Pretty printer for programs; round-trips through the parser."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.ast import (
+    Assign,
+    Assume,
+    CallStmt,
+    DataDecl,
+    FieldWrite,
+    Havoc,
+    If,
+    Method,
+    Program,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    VarDecl,
+    While,
+)
+
+_INDENT = "  "
+
+
+def pretty_stmt(s: Stmt, depth: int = 0) -> str:
+    pad = _INDENT * depth
+    if isinstance(s, Seq):
+        return "\n".join(pretty_stmt(t, depth) for t in s.stmts)
+    if isinstance(s, If):
+        out = [f"{pad}if ({s.cond}) {{"]
+        out.append(pretty_stmt(s.then, depth + 1))
+        if isinstance(s.els, Skip):
+            out.append(f"{pad}}}")
+        else:
+            out.append(f"{pad}}} else {{")
+            out.append(pretty_stmt(s.els, depth + 1))
+            out.append(f"{pad}}}")
+        return "\n".join(out)
+    if isinstance(s, While):
+        out = [f"{pad}while ({s.cond}) {{"]
+        out.append(pretty_stmt(s.body, depth + 1))
+        out.append(f"{pad}}}")
+        return "\n".join(out)
+    if isinstance(s, (Skip, VarDecl, Assign, FieldWrite, CallStmt, Return,
+                      Assume, Havoc)):
+        return f"{pad}{s}"
+    raise TypeError(f"unknown statement {type(s).__name__}")
+
+
+def pretty_method(m: Method) -> str:
+    params = ", ".join(str(p) for p in m.params)
+    head = f"{m.ret_type} {m.name}({params})"
+    lines: List[str] = [head]
+    if m.requires is not None:
+        lines.append(f"{_INDENT}// requires {m.requires!r}")
+    if m.ensures is not None:
+        lines.append(f"{_INDENT}// ensures {m.ensures!r}")
+    if m.body is None:
+        lines[-1] += ";"
+        return "\n".join(lines)
+    lines.append("{")
+    lines.append(pretty_stmt(m.body, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_program(p: Program) -> str:
+    chunks: List[str] = []
+    for d in p.data_decls.values():
+        chunks.append(str(d))
+    for m in p.methods.values():
+        chunks.append(pretty_method(m))
+    return "\n\n".join(chunks)

@@ -1,0 +1,132 @@
+"""Translation from pure language expressions to arithmetic formulas/terms.
+
+Only *pure* expressions translate: no calls, no heap reads, no allocation.
+``nondet()`` translates to a fresh variable when a generator is supplied
+(the verifier threads one through); in specification position it is
+rejected.  ``null`` is translated as the integer constant 0, matching the
+numeric abstraction used by :mod:`repro.seplog`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.arith.formula import (
+    FALSE,
+    Formula,
+    TRUE,
+    atom_eq,
+    atom_ge,
+    atom_gt,
+    atom_le,
+    atom_lt,
+    atom_ne,
+    conj,
+    disj,
+    neg,
+)
+from repro.arith.terms import LinExpr, const, var
+from repro.lang.ast import (
+    Binary,
+    BoolLit,
+    Expr,
+    IntLit,
+    Nondet,
+    NullLit,
+    Unary,
+    Var,
+)
+
+_COMPARISONS = {"<", "<=", ">", ">=", "==", "!="}
+
+
+class PurityError(Exception):
+    """Raised when a non-pure expression is translated."""
+
+
+_FRESH = itertools.count()
+
+
+def default_fresh(prefix: str = "nd") -> str:
+    return f"{prefix}_{next(_FRESH)}"
+
+
+def expr_to_linexpr(
+    e: Expr, fresh: Optional[Callable[[], str]] = None
+) -> LinExpr:
+    """Translate an arithmetic expression to a :class:`LinExpr`."""
+    if isinstance(e, IntLit):
+        return const(e.value)
+    if isinstance(e, NullLit):
+        return const(0)
+    if isinstance(e, Var):
+        return var(e.name)
+    if isinstance(e, Nondet):
+        if fresh is None:
+            raise PurityError("nondet() is not allowed here")
+        return var(fresh())
+    if isinstance(e, Unary) and e.op == "-":
+        return -expr_to_linexpr(e.arg, fresh)
+    if isinstance(e, Binary):
+        if e.op == "+":
+            return expr_to_linexpr(e.left, fresh) + expr_to_linexpr(e.right, fresh)
+        if e.op == "-":
+            return expr_to_linexpr(e.left, fresh) - expr_to_linexpr(e.right, fresh)
+        if e.op == "*":
+            left = expr_to_linexpr(e.left, fresh)
+            right = expr_to_linexpr(e.right, fresh)
+            if left.is_constant():
+                return right.scale(left.constant)
+            if right.is_constant():
+                return left.scale(right.constant)
+            raise PurityError(
+                f"non-linear multiplication {e} is outside the core language"
+            )
+    raise PurityError(f"expression {e} is not a pure linear expression")
+
+
+def expr_to_formula(
+    e: Expr, fresh: Optional[Callable[[], str]] = None
+) -> Formula:
+    """Translate a boolean expression to an arithmetic :class:`Formula`."""
+    if isinstance(e, BoolLit):
+        return TRUE if e.value else FALSE
+    if isinstance(e, Unary) and e.op == "!":
+        return neg(expr_to_formula(e.arg, fresh))
+    if isinstance(e, Binary):
+        if e.op == "&&":
+            return conj(
+                expr_to_formula(e.left, fresh), expr_to_formula(e.right, fresh)
+            )
+        if e.op == "||":
+            return disj(
+                expr_to_formula(e.left, fresh), expr_to_formula(e.right, fresh)
+            )
+        if e.op in _COMPARISONS:
+            left = expr_to_linexpr(e.left, fresh)
+            right = expr_to_linexpr(e.right, fresh)
+            builder = {
+                "<": atom_lt,
+                "<=": atom_le,
+                ">": atom_gt,
+                ">=": atom_ge,
+                "==": atom_eq,
+                "!=": atom_ne,
+            }[e.op]
+            return builder(left, right)
+    if isinstance(e, Nondet):
+        # A nondeterministic boolean: unconstrained fresh variable == 0.
+        if fresh is None:
+            raise PurityError("nondet() is not allowed here")
+        return atom_eq(var(fresh()), 0)
+    raise PurityError(f"expression {e} is not a pure boolean expression")
+
+
+def is_pure_bool(e: Expr) -> bool:
+    """Whether *e* translates as a boolean formula without fresh inputs."""
+    try:
+        expr_to_formula(e)
+        return True
+    except PurityError:
+        return False

@@ -1,0 +1,36 @@
+"""Separation-logic substrate: symbolic heaps and numeric abstraction.
+
+The paper handles heap programs by reasoning about heap safety properties
+*prior to* termination analysis ("Heap-based properties in our logic are
+currently handled prior to termination analysis").  This package provides:
+
+* :mod:`repro.seplog.heap` -- symbolic heap formulas (``emp``, points-to,
+  inductive predicate instances, separating conjunction) and the standard
+  list predicates ``ll``, ``lseg``, ``cll`` of paper Fig. 4;
+* :mod:`repro.seplog.entail` -- a fold/unfold entailment checker for the
+  list fragment, with lemma support (e.g. the rotation lemma used by the
+  circular-list case of ``append``);
+* :mod:`repro.seplog.abstraction` -- the numeric size abstraction that
+  turns a heap-manipulating method (with its separation-logic spec) into
+  an integer method the pure TNT pipeline can analyse.
+"""
+
+from repro.seplog.heap import (
+    Emp,
+    PointsTo,
+    PredInst,
+    SymHeap,
+    HeapSpec,
+    STANDARD_PREDS,
+)
+from repro.seplog.abstraction import abstract_program
+
+__all__ = [
+    "Emp",
+    "PointsTo",
+    "PredInst",
+    "SymHeap",
+    "HeapSpec",
+    "STANDARD_PREDS",
+    "abstract_program",
+]

@@ -1,0 +1,114 @@
+"""Unit tests for linear expressions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arith.terms import LinExpr, const, linear_combination, to_linexpr, var
+
+
+class TestConstruction:
+    def test_zero_coefficients_dropped(self):
+        e = LinExpr({"x": 0, "y": 2})
+        assert e.variables() == {"y"}
+
+    def test_constant_expression(self):
+        e = const(5)
+        assert e.is_constant()
+        assert e.constant == 5
+
+    def test_var_expression(self):
+        e = var("x")
+        assert e.coeff("x") == 1
+        assert e.coeff("y") == 0
+
+    def test_fraction_coefficients(self):
+        e = LinExpr({"x": Fraction(1, 2)})
+        assert e.coeff("x") == Fraction(1, 2)
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            LinExpr({"x": 0.5})
+
+    def test_to_linexpr_coercions(self):
+        assert to_linexpr(3) == const(3)
+        assert to_linexpr("x") == var("x")
+        assert to_linexpr(var("x")) == var("x")
+
+    def test_linear_combination(self):
+        e = linear_combination([(2, "x"), (3, "y"), (1, "x")], 7)
+        assert e.coeff("x") == 3
+        assert e.coeff("y") == 3
+        assert e.constant == 7
+
+
+class TestArithmetic:
+    def test_addition(self):
+        e = var("x") + var("y") + 3
+        assert e.coeff("x") == 1 and e.coeff("y") == 1 and e.constant == 3
+
+    def test_subtraction_cancels(self):
+        e = var("x") - var("x")
+        assert e.is_constant() and e.constant == 0
+
+    def test_radd_rsub(self):
+        assert (3 + var("x")) == var("x") + 3
+        assert (3 - var("x")) == -var("x") + 3
+
+    def test_scaling(self):
+        e = (var("x") + 2).scale(3)
+        assert e.coeff("x") == 3 and e.constant == 6
+
+    def test_mul_operator(self):
+        assert 2 * var("x") == var("x").scale(2)
+        assert var("x") * 2 == var("x").scale(2)
+
+    def test_negation(self):
+        e = -(var("x") - 1)
+        assert e.coeff("x") == -1 and e.constant == 1
+
+
+class TestSubstitution:
+    def test_substitute_var(self):
+        e = var("x") + var("y")
+        r = e.substitute({"x": var("a") + 1})
+        assert r == var("a") + var("y") + 1
+
+    def test_substitute_scales_coefficient(self):
+        e = var("x").scale(3)
+        r = e.substitute({"x": var("a") + 1})
+        assert r.coeff("a") == 3 and r.constant == 3
+
+    def test_substitute_no_hit_is_identity(self):
+        e = var("x") + 1
+        assert e.substitute({"z": var("q")}) is e
+
+    def test_rename_merges(self):
+        e = var("x") + var("y")
+        r = e.rename({"x": "y"})
+        assert r == var("y").scale(2)
+
+    def test_evaluate(self):
+        e = var("x").scale(2) + var("y") - 3
+        assert e.evaluate({"x": 5, "y": 1}) == 8
+
+
+class TestNormalization:
+    def test_normalized_scales_to_integers(self):
+        e = LinExpr({"x": Fraction(1, 2), "y": Fraction(1, 3)})
+        n = e.normalized()
+        assert all(c.denominator == 1 for c in n.coeffs.values())
+
+    def test_normalized_gcd_reduced(self):
+        e = LinExpr({"x": 4, "y": 6}, 8)
+        n = e.normalized()
+        assert n == LinExpr({"x": 2, "y": 3}, 4)
+
+    def test_hash_equality_consistency(self):
+        a = var("x") + var("y")
+        b = var("y") + var("x")
+        assert a == b and hash(a) == hash(b)
+
+    def test_str_roundtrip_sanity(self):
+        assert str(var("x") - var("y") + 1) == "x - y + 1"
+        assert str(const(0)) == "0"

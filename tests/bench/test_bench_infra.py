@@ -1,0 +1,96 @@
+"""Benchmark infrastructure tests: corpus integrity, runner, tallying."""
+
+import pytest
+
+from repro.bench.programs import CATEGORIES, all_programs, by_name
+from repro.bench.runner import BenchOutcome, HipTNTPlus, run_tool, tally
+from repro.core.pipeline import Verdict
+from repro.lang import parse_program
+from repro.lang.interp import terminates
+
+
+class TestCorpus:
+    def test_categories_populated(self):
+        for c in CATEGORIES:
+            assert len(all_programs(c)) >= 8, c
+
+    def test_all_programs_parse_and_build(self):
+        for p in all_programs():
+            program = p.program()
+            assert program.methods
+
+    def test_mains_exist_after_abstraction(self):
+        from repro.lang import desugar_program
+        from repro.seplog.abstraction import abstract_program
+
+        for p in all_programs():
+            program = abstract_program(desugar_program(p.program()))
+            assert p.main in program.methods, p.name
+
+    def test_names_unique(self):
+        names = [p.name for p in all_programs()]
+        assert len(names) == len(set(names))
+
+    def test_loop_based_flags_honest(self):
+        """loop_based programs must have no user-written recursion."""
+        from repro.baselines import T2LikeAnalyzer
+
+        t2 = T2LikeAnalyzer()
+        for p in all_programs():
+            if p.loop_based:
+                assert t2.supports(p.program()), p.name
+
+    def test_by_name(self):
+        assert by_name("foo-paper").category == "crafted"
+        with pytest.raises(KeyError):
+            by_name("no-such-program")
+
+
+class TestGroundTruth:
+    """Spot-check the recorded expected verdicts against the interpreter
+    (pure programs only; heap programs carry spec-relative truths)."""
+
+    @pytest.mark.parametrize("name,args,halts", [
+        ("foo-paper", [3, 1], False),
+        ("foo-paper", [3, -1], True),
+        ("plain-countdown", [5], True),
+        ("nonterm-simple-lit", [1], False),
+        ("even-odd-mutual", [-1], False),
+        ("fib-rec", [8], True),
+    ])
+    def test_concrete_run(self, name, args, halts):
+        bench = by_name(name)
+        program = bench.program()
+        assert terminates(program, bench.main.split("__")[0], args,
+                          fuel=50_000) is halts
+
+
+class TestRunner:
+    def test_run_tool_produces_outcome(self):
+        bench = by_name("plain-countdown")
+        out = run_tool(HipTNTPlus(bench.main), bench, timeout=30.0)
+        assert isinstance(out, BenchOutcome)
+        assert out.verdict is Verdict.TERMINATING
+        assert out.sound
+
+    def test_timeout_classified(self):
+        bench = by_name("ackermann-spec")
+        out = run_tool(HipTNTPlus(bench.main, time_budget=50.0), bench,
+                       timeout=0.05)
+        assert out.timed_out
+
+    def test_tally_columns(self):
+        outs = [
+            BenchOutcome("a", "t", Verdict.TERMINATING, 1.0, True),
+            BenchOutcome("b", "t", Verdict.NONTERMINATING, 2.0, True),
+            BenchOutcome("c", "t", Verdict.UNKNOWN, 3.0, True),
+            BenchOutcome("d", "t", None, 60.0, True),
+        ]
+        t = tally(outs)
+        assert (t["Y"], t["N"], t["U"], t["T/O"]) == (1, 1, 1, 1)
+        assert t["time"] == 6.0  # timeouts excluded, as in the paper
+        assert t["unsound"] == 0
+
+    def test_unsound_accounting(self):
+        outs = [BenchOutcome("a", "t", Verdict.TERMINATING, 1.0, False)]
+        assert tally(outs)["unsound"] == 1

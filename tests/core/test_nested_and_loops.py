@@ -1,0 +1,210 @@
+"""End-to-end inference tests: nested recursion, loops, mutual recursion."""
+
+import pytest
+
+from repro.core import infer_source
+from repro.core.pipeline import Verdict
+from repro.core.predicates import Loop as LoopPred, Term as TermPred
+
+
+def loop_spec(result):
+    """The summary of the (single) desugared loop method."""
+    (name,) = [n for n in result.specs if "loop" in n]
+    return result.specs[name]
+
+
+class TestMcCarthy91:
+    def test_with_spec_terminates_everywhere(self):
+        result = infer_source("""
+int Mc91(int n)
+  requires true
+  ensures n <= 100 && res == 91 || n > 100 && res == n - 10;
+{
+  if (n > 100) { return n - 10; }
+  else { return Mc91(Mc91(n + 11)); }
+}
+""", time_budget=20.0)
+        assert result.verdict("Mc91") is Verdict.TERMINATING
+        assert all(
+            isinstance(c.pred, TermPred) for c in result.specs["Mc91"].cases
+        )
+
+    def test_without_spec_only_base_case(self):
+        result = infer_source("""
+int Mc91(int n)
+{
+  if (n > 100) { return n - 10; }
+  else { return Mc91(Mc91(n + 11)); }
+}
+""", time_budget=10.0)
+        # paper: "the inference only shows that the McCarthy 91 function
+        # terminates in its base case when n > 100"
+        assert result.verdict("Mc91") is Verdict.UNKNOWN
+        base = [c for c in result.specs["Mc91"].cases
+                if isinstance(c.pred, TermPred)]
+        assert base, "the n > 100 base case must be Term"
+
+
+class TestAckermann:
+    def test_negative_m_diverges(self):
+        result = infer_source("""
+int Ack(int m, int n)
+  requires true ensures res >= n + 1;
+{
+  if (m == 0) { return n + 1; }
+  else { if (n == 0) { return Ack(m - 1, 1); }
+         else { return Ack(m - 1, Ack(m, n - 1)); } }
+}
+""", time_budget=20.0)
+        spec = result.specs["Ack"]
+        assert result.verdict("Ack") is Verdict.NONTERMINATING
+        # m < 0 must be a Loop region
+        loop_cases = [c for c in spec.cases if isinstance(c.pred, LoopPred)]
+        assert loop_cases
+        assert spec.case_for({"m": -1, "n": 5}) is not None
+        case = spec.case_for({"m": -1, "n": 5})
+        assert isinstance(case.pred, LoopPred)
+        # m = 0 is base-case terminating
+        case0 = spec.case_for({"m": 0, "n": 5})
+        assert isinstance(case0.pred, TermPred)
+
+
+class TestMutualRecursion:
+    def test_even_odd_guarded_terminates(self):
+        result = infer_source("""
+int even(int n) requires n >= 0 ensures true;
+{ if (n == 0) { return 1; } else { return odd(n - 1); } }
+int odd(int n) requires n >= 0 ensures true;
+{ if (n == 0) { return 0; } else { return even(n - 1); } }
+""")
+        assert result.verdict("even") is Verdict.TERMINATING
+        assert result.verdict("odd") is Verdict.TERMINATING
+
+    def test_even_odd_unguarded_has_loop_region(self):
+        result = infer_source("""
+int even(int n)
+{ if (n == 0) { return 1; } else { return odd(n - 1); } }
+int odd(int n)
+{ if (n == 0) { return 0; } else { return even(n - 1); } }
+""")
+        assert result.verdict("even") is Verdict.NONTERMINATING
+
+
+class TestLoops:
+    def test_countdown(self):
+        result = infer_source(
+            "void main(int x) { while (x > 0) { x = x - 1; } }"
+        )
+        assert result.verdict("main") is Verdict.TERMINATING
+
+    def test_growth_is_loop(self):
+        result = infer_source(
+            "void main(int x) { while (x > 0) { x = x + 1; } }"
+        )
+        assert result.verdict("main") is Verdict.NONTERMINATING
+        spec = loop_spec(result)
+        loop_case = [c for c in spec.cases if isinstance(c.pred, LoopPred)]
+        assert loop_case and not loop_case[0].post.reachable
+
+    def test_conditional_drain_split(self):
+        """while (x>0) x -= y: Loop for y<=0 (x>0), Term for y>=1."""
+        result = infer_source(
+            "void main(int x, int y) { while (x > 0) { x = x - y; } }"
+        )
+        assert result.verdict("main") is Verdict.NONTERMINATING
+        spec = loop_spec(result)
+        kinds = {type(c.pred).__name__ for c in spec.cases}
+        assert "Loop" in kinds and "Term" in kinds
+
+    def test_nested_loops(self):
+        result = infer_source("""
+void main(int n, int m) {
+  int i = 0;
+  while (i < n) {
+    int j = 0;
+    while (j < m) { j = j + 1; }
+    i = i + 1;
+  }
+}
+""")
+        assert result.verdict("main") is Verdict.TERMINATING
+
+    def test_nondet_choice_terminates(self):
+        result = infer_source("""
+void main(int x) {
+  while (x > 0) {
+    if (nondet() > 0) { x = x - 1; } else { x = x - 2; }
+  }
+}
+""")
+        assert result.verdict("main") is Verdict.TERMINATING
+
+
+class TestModularReuse:
+    def test_caller_inherits_callee_divergence(self):
+        """A caller of a definitely non-terminating callee is Loop on the
+        region where the callee diverges -- the modular-summary claim."""
+        result = infer_source("""
+void spin(int x)
+{ if (x <= 0) { return; } else { spin(x + 1); return; } }
+void main(int a) { spin(a); }
+""")
+        assert result.verdict("spin") is Verdict.NONTERMINATING
+        assert result.verdict("main") is Verdict.NONTERMINATING
+        case = result.specs["main"].case_for({"a": 1})
+        assert isinstance(case.pred, LoopPred)
+        case = result.specs["main"].case_for({"a": 0})
+        assert isinstance(case.pred, TermPred)
+
+    def test_requires_clause_restricts_summary(self):
+        result = infer_source("""
+int gcd(int a, int b)
+  requires a > 0 && b > 0 ensures res > 0;
+{
+  if (a == b) { return a; }
+  else { if (a > b) { return gcd(a - b, b); }
+         else { return gcd(a, b - a); } }
+}
+""")
+        assert result.verdict("gcd") is Verdict.TERMINATING
+
+    def test_phase_change_program(self):
+        result = infer_source("""
+void main(int x, int y) {
+  while (x >= 0) {
+    if (y > 0) { x = x + 1; y = y - 1; }
+    else { x = x - 1; }
+  }
+}
+""", time_budget=25.0)
+        assert result.verdict("main") in (
+            Verdict.TERMINATING, Verdict.UNKNOWN
+        )
+
+
+class TestOracleCrossValidation:
+    """Inferred verdicts must agree with concrete executions."""
+
+    @pytest.mark.parametrize("source,main,grid", [
+        ("void f(int x) { if (x <= 0) { return; } else { f(x - 2); return; } }",
+         "f", [(-3,), (0,), (5,), (8,)]),
+        ("void f(int x, int d) { if (x <= 0) { return; } else { f(x + d, d); return; } }",
+         "f", [(1, 1), (1, -1), (5, 0), (-1, 3)]),
+    ])
+    def test_summary_matches_interpreter(self, source, main, grid):
+        from repro.lang import parse_program
+        from repro.lang.interp import terminates
+
+        result = infer_source(source)
+        program = parse_program(source)
+        spec = result.specs[main]
+        params = spec.params
+        for point in grid:
+            env = dict(zip(params, point))
+            case = spec.case_for(env)
+            assert case is not None
+            actual = terminates(program, main, list(point), fuel=20000)
+            if isinstance(case.pred, TermPred):
+                assert actual is True, point
+            elif isinstance(case.pred, LoopPred):
+                assert actual is False, point

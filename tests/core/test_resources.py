@@ -1,0 +1,132 @@
+"""Unit and property tests for the resource-capacity semantics (Sec. 3)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.resources import (
+    INF,
+    LOOP_CAPACITY,
+    MAYLOOP_CAPACITY,
+    RC,
+    consume,
+    nat_add,
+    nat_le,
+    sub_lower,
+    sub_upper,
+)
+
+nats = st.one_of(st.integers(min_value=0, max_value=40), st.just(INF))
+
+
+class TestNatInf:
+    def test_le_total_on_samples(self):
+        assert nat_le(0, INF)
+        assert nat_le(INF, INF)
+        assert not nat_le(INF, 5)
+        assert nat_le(3, 5)
+
+    def test_add(self):
+        assert nat_add(2, 3) == 5
+        assert nat_add(2, INF) == INF
+        assert nat_add(INF, INF) == INF
+
+
+class TestSubtractionOperators:
+    def test_paper_identities(self):
+        # inf -L inf = 0 and inf -U inf = inf (the paper's special cases)
+        assert sub_lower(INF, INF) == 0
+        assert sub_upper(INF, INF) == INF
+
+    def test_never_negative(self):
+        assert sub_lower(3, 5) == 0
+        assert sub_lower(5, 3) == 2
+
+    def test_sub_upper_requires_order(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            sub_upper(3, 5)
+        with pytest.raises(ValueError):
+            sub_upper(3, INF)
+
+    def test_sub_upper_finite(self):
+        assert sub_upper(7, 3) == 4
+        assert sub_upper(INF, 3) == INF
+
+    @settings(max_examples=200, deadline=None)
+    @given(nats, nats)
+    def test_sub_lower_is_minimal_residue(self, l1, l2):
+        r = sub_lower(l1, l2)
+        # r + L2 >= L1
+        assert nat_le(l1, nat_add(r, l2))
+        # minimality on finite candidates below r
+        if not isinstance(r, type(INF)) and r > 0:
+            assert not nat_le(l1, nat_add(r - 1, l2))
+
+    @settings(max_examples=200, deadline=None)
+    @given(nats, nats)
+    def test_sub_upper_is_maximal_residue(self, u1, u2):
+        if not nat_le(u2, u1):
+            return
+        r = sub_upper(u1, u2)
+        assert nat_le(nat_add(r, u2), u1)
+        if not isinstance(r, type(INF)):
+            # r + 1 would overshoot unless u1 is infinite
+            if not isinstance(u1, type(INF)):
+                assert not nat_le(nat_add(r + 1, u2), u1)
+
+
+class TestCapacities:
+    def test_known_predicate_capacities(self):
+        assert LOOP_CAPACITY == RC(INF, INF)
+        assert MAYLOOP_CAPACITY == RC(0, INF)
+
+    def test_mayloop_subsumes_all(self):
+        # MayLoop is the strongest pre-predicate: its capacity interval
+        # contains every other capacity
+        assert MAYLOOP_CAPACITY.subsumes(LOOP_CAPACITY)
+        assert MAYLOOP_CAPACITY.subsumes(RC(0, 7))
+
+    def test_loop_and_term_incomparable(self):
+        term = RC(0, 7)
+        assert not LOOP_CAPACITY.subsumes(term)
+        assert not term.subsumes(LOOP_CAPACITY)
+
+    @settings(max_examples=200, deadline=None)
+    @given(nats, nats, nats, nats)
+    def test_subsumption_is_interval_containment(self, l1, u1, l2, u2):
+        a, b = RC(l1, u1), RC(l2, u2)
+        assert a.subsumes(b) == (nat_le(l1, l2) and nat_le(u2, u1))
+
+
+class TestConsumptionEntailment:
+    def test_term_from_mayloop(self):
+        # MayLoop |-t Term[bound]  ~>  residue exists
+        residue = consume(MAYLOOP_CAPACITY, RC(0, 5))
+        assert residue == RC(0, INF)
+
+    def test_loop_consumes_loop(self):
+        residue = consume(LOOP_CAPACITY, LOOP_CAPACITY)
+        assert residue == RC(0, INF)
+
+    def test_term_cannot_consume_loop(self):
+        # a bounded caller cannot pay for a definitely diverging callee
+        assert consume(RC(0, 5), LOOP_CAPACITY) is None
+
+    def test_upper_bound_check(self):
+        assert consume(RC(0, 3), RC(0, 5)) is None
+        assert consume(RC(0, 5), RC(0, 3)) == RC(0, 2)
+
+    def test_residue_wellformedness_enforced(self):
+        # La=5,Ua=5 consuming Lc=0,Uc=5 -> Lr=5, Ur=0: ill-formed residue
+        assert consume(RC(5, 5), RC(0, 5)) is None
+
+    @settings(max_examples=300, deadline=None)
+    @given(nats, nats, nats, nats)
+    def test_weak_relation_to_subsumption(self, l1, u1, l2, u2):
+        # paper: (theta_a =>r theta_c) implies a residue exists
+        a, c = RC(l1, u1), RC(l2, u2)
+        if not (a.is_wellformed() and c.is_wellformed()):
+            return
+        if a.subsumes(c) and nat_le(c.upper, a.upper):
+            # subsumption with the upper-bound side condition
+            assert consume(a, c) is not None

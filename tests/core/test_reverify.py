@@ -1,0 +1,38 @@
+"""The paper's re-verification step: inferred summaries must re-check."""
+
+import pytest
+
+from repro.core import infer_source
+from repro.core.reverify import reverify
+
+PROGRAMS = {
+    "foo": """
+void foo(int x, int y)
+{ if (x < 0) { return; } else { foo(x + y, y); return; } }
+""",
+    "countdown": "void main(int x) { while (x > 0) { x = x - 1; } }",
+    "growth": "void main(int x) { while (x > 0) { x = x + 1; } }",
+    "drain": "void main(int x, int y) { while (x > 0) { x = x - y; } }",
+    "gcd": """
+int gcd(int a, int b)
+  requires a > 0 && b > 0 ensures res > 0;
+{
+  if (a == b) { return a; }
+  else { if (a > b) { return gcd(a - b, b); }
+         else { return gcd(a, b - a); } }
+}
+""",
+    "even-odd": """
+int even(int n) requires n >= 0 ensures true;
+{ if (n == 0) { return 1; } else { return odd(n - 1); } }
+int odd(int n) requires n >= 0 ensures true;
+{ if (n == 0) { return 0; } else { return even(n - 1); } }
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_summaries_reverify(name):
+    result = infer_source(PROGRAMS[name])
+    failures = reverify(result)
+    assert failures == [], failures

@@ -1,0 +1,149 @@
+"""Parser and lexer tests."""
+
+import pytest
+
+from repro.arith.formula import TRUE
+from repro.lang import ast
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import ParseError, parse_expr, parse_program
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("int x = 42;")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["kw", "ident", "sym", "int", "sym", "eof"]
+
+    def test_two_char_symbols(self):
+        toks = tokenize("<= >= == != && ||")
+        texts = [t.text for t in toks[:-1]]
+        assert texts == ["<=", ">=", "==", "!=", "&&", "||"]
+
+    def test_comments_skipped(self):
+        toks = tokenize("x // comment\n/* multi\nline */ y")
+        texts = [t.text for t in toks[:-1]]
+        assert texts == ["x", "y"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb")
+        assert toks[0].line == 1 and toks[1].line == 2
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+
+class TestExpressions:
+    def test_precedence_add_mul(self):
+        e = parse_expr("1 + 2 * x")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_precedence_cmp_bool(self):
+        e = parse_expr("x < 1 && y > 2")
+        assert isinstance(e, ast.Binary) and e.op == "&&"
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * x")
+        assert isinstance(e, ast.Binary) and e.op == "*"
+
+    def test_unary(self):
+        e = parse_expr("-x + !b")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.left, ast.Unary) and e.left.op == "-"
+
+    def test_call_and_field(self):
+        e = parse_expr("f(x.next, 1)")
+        assert isinstance(e, ast.CallExpr)
+        assert isinstance(e.args[0], ast.FieldRead)
+
+    def test_nondet_and_null(self):
+        assert isinstance(parse_expr("nondet()"), ast.Nondet)
+        assert isinstance(parse_expr("null"), ast.NullLit)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("x + 1 y")
+
+
+class TestPrograms:
+    def test_method_and_params(self):
+        p = parse_program("void f(int x, ref int y) { return; }")
+        m = p.method("f")
+        assert m.param_names == ["x", "y"]
+        assert m.params[1].by_ref
+
+    def test_data_declaration(self):
+        p = parse_program("data node { node next; int val; }")
+        d = p.data_decls["node"]
+        assert d.field_names() == ["next", "val"]
+
+    def test_spec_parsing(self):
+        p = parse_program("""
+int f(int n) requires n >= 0 ensures res >= n; { return n; }
+""")
+        m = p.method("f")
+        assert m.requires is not None and m.ensures is not None
+        assert "res" in m.ensures.free_vars()
+
+    def test_primitive_method(self):
+        p = parse_program("int read() requires true ensures true;")
+        assert p.method("read").is_primitive
+
+    def test_if_without_else(self):
+        p = parse_program("void f(int x) { if (x > 0) { x = 0; } }")
+        body = p.method("f").body
+        assert isinstance(body, ast.If)
+        assert isinstance(body.els, ast.Skip)
+
+    def test_while_statement(self):
+        p = parse_program("void f(int x) { while (x > 0) { x = x - 1; } }")
+        assert isinstance(p.method("f").body, ast.While)
+
+    def test_havoc_assume(self):
+        p = parse_program("void f(int x) { havoc x; assume(x > 0); }")
+        body = p.method("f").body
+        assert isinstance(body, ast.Seq)
+        assert isinstance(body.stmts[0], ast.Havoc)
+        assert isinstance(body.stmts[1], ast.Assume)
+
+    def test_field_write(self):
+        p = parse_program("""
+data node { node next; }
+void f(node x, node y) { x.next = y; }
+""")
+        assert isinstance(p.method("f").body, ast.FieldWrite)
+
+    def test_new_expression(self):
+        p = parse_program("""
+data node { node next; }
+void f() { node n; n = new node(null); }
+""")
+        body = p.method("f").body
+        assert isinstance(body.stmts[1].value, ast.NewExpr)
+
+    def test_duplicate_method_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() { } void f() { }")
+
+    def test_roundtrip_through_pretty(self):
+        from repro.lang.pretty import pretty_program
+
+        source = """
+data node { node next; }
+int gcd(int a, int b) requires a > 0 ensures res > 0; {
+  if (a == b) { return a; }
+  else { if (a > b) { return gcd(a - b, b); } else { return gcd(a, b - a); } }
+}
+"""
+        p1 = parse_program(source)
+        text = pretty_program(p1)
+        p2 = parse_program(
+            "\n".join(l for l in text.splitlines() if "//" not in l)
+        )
+        assert set(p2.methods) == set(p1.methods)
+        assert set(p2.data_decls) == set(p1.data_decls)
