@@ -3,8 +3,18 @@
 Not a paper table; these time the substrate pieces (entailment, ranking
 synthesis, full worked-example inference) so performance regressions in
 the core are visible independently of the Fig. 10/11 sweeps.
+
+The ``perf_guard``-marked test is a functional cache-regression guard: it
+runs the same workload twice against one :class:`SolverContext` and
+asserts the warm run performs strictly fewer raw Fourier-Motzkin
+eliminations than the cold run, so a broken cache (e.g. one that silently
+stops admitting entries) fails tier-1 instead of only showing up as a
+slowdown.
 """
 
+import pytest
+
+from repro.arith.context import SolverContext
 from repro.arith.formula import atom_eq, atom_ge, atom_lt, conj
 from repro.arith.solver import clear_caches, entails, is_sat
 from repro.arith.terms import var
@@ -91,3 +101,64 @@ def test_bench_full_gcd_inference(benchmark):
 
     result = benchmark(run)
     assert result.specs["gcd"] is not None
+
+
+# ---------------------------------------------------------------------------
+# Warm-context benchmarks and the cache-regression guard
+# ---------------------------------------------------------------------------
+
+def _guard_workload(ctx):
+    """A batch of entailment/sat queries shaped like the inference's VCs
+    (distinct variable names keep it out of other tests' cache entries)."""
+    a, b, a2, b2 = var("pg_a"), var("pg_b"), var("pg_a'"), var("pg_b'")
+    answers = []
+    for k in range(6):
+        step = conj(
+            atom_ge(a, k), atom_ge(b, 1),
+            atom_eq(a2, a - b), atom_eq(b2, b),
+        )
+        answers.append(ctx.entails(step, atom_lt(a2, a)))
+        answers.append(ctx.is_sat(conj(step, atom_ge(a2, k))))
+        answers.append(ctx.is_sat(conj(step, atom_lt(a2, -10 - k))))
+    return answers
+
+
+def test_bench_warm_context_entailment(benchmark):
+    """The warm-context fast path: repeated queries against one shared
+    context are answered from its caches (compare with
+    test_bench_entailment, which clears all caches per round)."""
+    ctx = SolverContext()
+    _guard_workload(ctx)  # prime
+
+    def run():
+        return _guard_workload(ctx)
+
+    assert benchmark(run)
+
+
+@pytest.mark.perf_guard
+def test_perf_guard_warm_context_fewer_fm_eliminations():
+    """Cache-regression guard: a second (warm-context) run of the same
+    workload must issue strictly fewer raw FM eliminations than the first.
+
+    If context caching regresses (entries silently stop being admitted,
+    keys stop matching after interning changes, ...), the warm run redoes
+    the eliminations and this fails fast in tier-1."""
+    clear_caches()
+    ctx = SolverContext()
+
+    cold_answers = _guard_workload(ctx)
+    cold = ctx.stats.fm_eliminations
+    assert cold > 0, "workload is expected to exercise raw FM elimination"
+
+    warm_answers = _guard_workload(ctx)
+    warm = ctx.stats.fm_eliminations - cold
+
+    assert warm_answers == cold_answers
+    assert warm < cold, (
+        f"warm-context run did {warm} FM eliminations, cold run did {cold}: "
+        "the solver context caches are not being reused"
+    )
+    # The warm run should in fact be answered entirely from the caches.
+    assert warm == 0
+    assert ctx.stats.hits > 0

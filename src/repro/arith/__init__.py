@@ -9,8 +9,11 @@ by the original HipTNT+ artifact.  Everything is computed with exact
   existential quantifiers, with NNF/DNF conversions.
 * :mod:`repro.arith.fm` -- Fourier-Motzkin variable elimination over
   conjunctions of linear constraints.
+* :mod:`repro.arith.context` -- incremental solver contexts: LRU-bounded
+  caches with statistics and push/pop assumption stacks.
 * :mod:`repro.arith.solver` -- satisfiability, validity, entailment,
-  projection (quantifier elimination) and simplification.
+  projection (quantifier elimination) and simplification (a thin facade
+  over a default context).
 * :mod:`repro.arith.farkas` -- Farkas'-lemma encodings used by ranking
   function synthesis and abductive inference (LP solved via scipy, results
   rationalised and re-verified exactly).
@@ -34,7 +37,9 @@ from repro.arith.formula import (
     atom_gt,
     atom_ne,
 )
+from repro.arith.context import SolverContext, SolverStats, default_context
 from repro.arith.solver import (
+    clear_caches,
     is_sat,
     is_unsat,
     is_valid,
@@ -46,6 +51,10 @@ from repro.arith.solver import (
 )
 
 __all__ = [
+    "SolverContext",
+    "SolverStats",
+    "default_context",
+    "clear_caches",
     "LinExpr",
     "var",
     "const",

@@ -17,7 +17,19 @@ from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.arith.formula import Atom, BoolConst, FALSE, Rel, TRUE, _atom_or_const
+from repro.arith.lru import LRUCache
 from repro.arith.terms import LinExpr
+
+#: Count of raw Fourier-Motzkin variable eliminations performed since the
+#: last :func:`clear_fm_caches`.  :class:`repro.arith.context.SolverContext`
+#: snapshots this around each query to attribute FM work to its statistics;
+#: the perf-guard benchmark asserts warm-context runs do strictly less of it.
+_ELIMINATIONS = 0
+
+
+def elimination_count() -> int:
+    """Total raw FM variable eliminations performed so far."""
+    return _ELIMINATIONS
 
 
 class Unsat(Exception):
@@ -124,6 +136,8 @@ def eliminate_var(atoms: Sequence[Atom], name: str) -> List[Atom]:
     Equalities must have been substituted away first.  Raises
     :class:`Unsat` when a contradiction becomes constant.
     """
+    global _ELIMINATIONS
+    _ELIMINATIONS += 1
     lowers, uppers, rest = _partition_by_var(atoms, name)
     out = list(rest)
     for lo in lowers:
@@ -201,24 +215,40 @@ def project_cube(atoms: Sequence[Atom], keep: Optional[Set[str]] = None,
     return _dedup(eq_kept + ineqs)
 
 
-_CUBE_SAT_CACHE: dict = {}
-_CUBE_CACHE_LIMIT = 500_000
+_CUBE_SAT_CACHE = LRUCache(500_000)
 
 
 def cube_is_sat(atoms: Sequence[Atom]) -> bool:
     """Satisfiability of a conjunction of atoms (integer-tightened FM).
 
-    Results are memoised on the atom set -- the inference re-checks the
-    same contexts many times across specialisation iterations.
+    Results are memoised on the atom set in an LRU-bounded cache -- the
+    inference re-checks the same contexts many times across specialisation
+    iterations, and under memory pressure the least-recently-used entries
+    are evicted instead of the cache silently refusing new entries.
     """
     key = frozenset(atoms)
     cached = _CUBE_SAT_CACHE.get(key)
     if cached is not None:
         return cached
     result = _cube_is_sat(atoms)
-    if len(_CUBE_SAT_CACHE) < _CUBE_CACHE_LIMIT:
-        _CUBE_SAT_CACHE[key] = result
+    _CUBE_SAT_CACHE.put(key, result)
     return result
+
+
+def clear_fm_caches() -> None:
+    """Drop the cube-satisfiability cache and reset all FM statistics."""
+    global _ELIMINATIONS
+    _CUBE_SAT_CACHE.clear(reset_evictions=True)
+    _ELIMINATIONS = 0
+
+
+def fm_cache_stats() -> Dict[str, int]:
+    """Size/eviction/elimination counters of the FM layer."""
+    return {
+        "size": len(_CUBE_SAT_CACHE),
+        "evictions": _CUBE_SAT_CACHE.evictions,
+        "eliminations": _ELIMINATIONS,
+    }
 
 
 def _cube_is_sat(atoms: Sequence[Atom]) -> bool:

@@ -13,15 +13,42 @@ more often than a rational relaxation would be.
 Formulas are immutable trees built by the smart constructors :func:`conj`,
 :func:`disj`, :func:`neg` and :func:`exists`, which perform cheap
 simplifications (flattening, unit laws, constant folding).
+
+**Hash-consing.**  Every node class interns its instances: constructing a
+node that is structurally equal to a live one returns the *same object*, so
+structural equality is pointer equality on the fast path, ``__hash__`` is
+computed exactly once at construction, and solver caches keyed on formulas
+cost O(1) per probe.  Conjuncts and disjuncts are additionally put into a
+canonical order at build time (by interning order, which is deterministic
+for a deterministic construction sequence), so ``conj(a, b)`` and
+``conj(b, a)`` yield the identical node and hit the same cache entries.
+The intern table holds weak references: nodes are reclaimed once no
+formula, cache or caller mentions them.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import weakref
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple, Union
 
+from repro.arith.lru import LRUCache
 from repro.arith.terms import Coeff, LinExpr, to_linexpr
+
+#: Global intern table for formula nodes (weak values: entries die with
+#: their last strong referent).  Keys embed the node tag, so one table
+#: serves every class.
+_INTERN: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+#: Monotone counter handing out interning-order ids; used as the canonical
+#: sort key for conjuncts/disjuncts (deterministic within a run, and across
+#: runs for deterministic construction sequences -- unlike str hashes).
+_NODE_COUNTER = itertools.count()
+
+
+def _node_uid(p: "Formula") -> int:
+    return p._uid
 
 
 class Rel(enum.Enum):
@@ -59,12 +86,22 @@ class Formula:
 
 
 class BoolConst(Formula):
-    """``true`` or ``false``."""
+    """``true`` or ``false`` (two interned singletons)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_uid", "__weakref__")
 
-    def __init__(self, value: bool):
-        object.__setattr__(self, "value", bool(value))
+    _instances: Dict[bool, "BoolConst"] = {}
+
+    def __new__(cls, value: bool):
+        value = bool(value)
+        hit = cls._instances.get(value)
+        if hit is not None:
+            return hit
+        self = object.__new__(cls)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_uid", next(_NODE_COUNTER))
+        cls._instances[value] = self
+        return self
 
     def __setattr__(self, *a):  # pragma: no cover - immutability guard
         raise AttributeError("BoolConst is immutable")
@@ -96,14 +133,22 @@ FALSE = BoolConst(False)
 
 
 class Atom(Formula):
-    """A normalised linear atom ``expr <= 0`` or ``expr == 0``."""
+    """A normalised linear atom ``expr <= 0`` or ``expr == 0`` (interned)."""
 
-    __slots__ = ("expr", "rel", "_hash")
+    __slots__ = ("expr", "rel", "_hash", "_uid", "__weakref__")
 
-    def __init__(self, expr: LinExpr, rel: Rel):
+    def __new__(cls, expr: LinExpr, rel: Rel):
+        key = ("atom", expr, rel)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        self = object.__new__(cls)
         object.__setattr__(self, "expr", expr)
         object.__setattr__(self, "rel", rel)
-        object.__setattr__(self, "_hash", hash(("atom", expr, rel)))
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_uid", next(_NODE_COUNTER))
+        _INTERN[key] = self
+        return self
 
     def __setattr__(self, *a):  # pragma: no cover - immutability guard
         raise AttributeError("Atom is immutable")
@@ -133,6 +178,8 @@ class Atom(Formula):
         )
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Atom)
             and self.rel == other.rel
@@ -147,25 +194,44 @@ class Atom(Formula):
 
 
 class NaryOp(Formula):
-    """Shared behaviour of :class:`And` and :class:`Or`."""
+    """Shared behaviour of :class:`And` and :class:`Or` (interned).
 
-    __slots__ = ("args", "_hash")
+    Arguments are stored in canonical (interning) order, so two
+    conjunctions over the same set of conjuncts are the same object no
+    matter the order they were supplied in.
+    """
+
+    __slots__ = ("args", "_hash", "_fv", "_uid", "__weakref__")
     _tag = "nary"
 
-    def __init__(self, args: Sequence[Formula]):
-        object.__setattr__(self, "args", tuple(args))
-        object.__setattr__(self, "_hash", hash((self._tag, self.args)))
+    def __new__(cls, args: Sequence[Formula]):
+        ordered = tuple(sorted(args, key=_node_uid))
+        key = (cls._tag, ordered)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        self = object.__new__(cls)
+        object.__setattr__(self, "args", ordered)
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_fv", None)
+        object.__setattr__(self, "_uid", next(_NODE_COUNTER))
+        _INTERN[key] = self
+        return self
 
     def __setattr__(self, *a):  # pragma: no cover - immutability guard
         raise AttributeError("formula nodes are immutable")
 
     def free_vars(self) -> FrozenSet[str]:
-        out: FrozenSet[str] = frozenset()
-        for a in self.args:
-            out |= a.free_vars()
-        return out
+        if self._fv is None:
+            out: FrozenSet[str] = frozenset()
+            for a in self.args:
+                out |= a.free_vars()
+            object.__setattr__(self, "_fv", out)
+        return self._fv
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return type(self) is type(other) and self.args == other.args
 
     def __hash__(self) -> int:
@@ -207,11 +273,19 @@ class Or(NaryOp):
 
 
 class Not(Formula):
-    __slots__ = ("arg", "_hash")
+    __slots__ = ("arg", "_hash", "_uid", "__weakref__")
 
-    def __init__(self, arg: Formula):
+    def __new__(cls, arg: Formula):
+        key = ("not", arg)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        self = object.__new__(cls)
         object.__setattr__(self, "arg", arg)
-        object.__setattr__(self, "_hash", hash(("not", arg)))
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_uid", next(_NODE_COUNTER))
+        _INTERN[key] = self
+        return self
 
     def __setattr__(self, *a):  # pragma: no cover - immutability guard
         raise AttributeError("formula nodes are immutable")
@@ -229,6 +303,8 @@ class Not(Formula):
         return not self.arg.evaluate(env)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Not) and self.arg == other.arg
 
     def __hash__(self) -> int:
@@ -239,14 +315,23 @@ class Not(Formula):
 
 
 class Exists(Formula):
-    """Existential quantification over a tuple of variables."""
+    """Existential quantification over a tuple of variables (interned)."""
 
-    __slots__ = ("bound", "body", "_hash")
+    __slots__ = ("bound", "body", "_hash", "_uid", "__weakref__")
 
-    def __init__(self, bound: Sequence[str], body: Formula):
-        object.__setattr__(self, "bound", tuple(sorted(set(bound))))
+    def __new__(cls, bound: Sequence[str], body: Formula):
+        bound = tuple(sorted(set(bound)))
+        key = ("exists", bound, body)
+        hit = _INTERN.get(key)
+        if hit is not None:
+            return hit
+        self = object.__new__(cls)
+        object.__setattr__(self, "bound", bound)
         object.__setattr__(self, "body", body)
-        object.__setattr__(self, "_hash", hash(("exists", self.bound, body)))
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_uid", next(_NODE_COUNTER))
+        _INTERN[key] = self
+        return self
 
     def __setattr__(self, *a):  # pragma: no cover - immutability guard
         raise AttributeError("formula nodes are immutable")
@@ -280,6 +365,8 @@ class Exists(Formula):
         raise ValueError("cannot directly evaluate a quantified formula")
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Exists)
             and self.bound == other.bound
@@ -504,8 +591,7 @@ def to_nnf(p: Formula, negate: bool = False) -> Formula:
     raise TypeError(f"unknown formula node {type(p).__name__}")
 
 
-_DNF_CACHE: dict = {}
-_DNF_CACHE_LIMIT = 100_000
+_DNF_CACHE = LRUCache(100_000)
 
 
 def to_dnf(p: Formula, limit: int = 50_000) -> List[List[Atom]]:
@@ -513,17 +599,27 @@ def to_dnf(p: Formula, limit: int = 50_000) -> List[List[Atom]]:
 
     Existentials are pushed inward and recorded by renaming their bound
     variables to fresh names (sound for satisfiability-style queries, which
-    is the only way the solver consumes DNF).  Results are memoised
-    (quantifier-free formulas only -- fresh renaming makes quantified
-    results non-reusable).
+    is the only way the solver consumes DNF).  Results are memoised in an
+    LRU-bounded cache (quantifier-free formulas only -- fresh renaming
+    makes quantified results non-reusable).
     """
     cached = _DNF_CACHE.get(p)
     if cached is not None:
         return cached
     cubes = _dnf(to_nnf(p), limit)
-    if len(_DNF_CACHE) < _DNF_CACHE_LIMIT and not _contains_exists(p):
-        _DNF_CACHE[p] = cubes
+    if not _contains_exists(p):
+        _DNF_CACHE.put(p, cubes)
     return cubes
+
+
+def clear_dnf_cache() -> None:
+    """Drop all memoised DNF conversions and reset the eviction counter."""
+    _DNF_CACHE.clear(reset_evictions=True)
+
+
+def dnf_cache_stats() -> Dict[str, int]:
+    """Size and eviction count of the module-level DNF cache."""
+    return {"size": len(_DNF_CACHE), "evictions": _DNF_CACHE.evictions}
 
 
 def _contains_exists(p: Formula) -> bool:

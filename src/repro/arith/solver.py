@@ -1,13 +1,38 @@
 """Decision procedures: SAT, validity, entailment, projection, simplification.
 
 The solver works by DNF conversion followed by Fourier-Motzkin reasoning on
-each cube (:mod:`repro.arith.fm`).  Results of satisfiability queries are
-memoised: formulas are immutable and hashable, so caching is safe.
+each cube (:mod:`repro.arith.fm`).  Formulas are hash-consed
+(:mod:`repro.arith.formula`), so every cache probe below is a pointer
+comparison and every formula's hash is computed exactly once.
 
 Completeness note: with the integer tightening performed at atom
 construction, the procedure is exact on the unit-two-variable fragment
 (difference-bound-like constraints with unit coefficients) that the paper's
 verification conditions live in, and remains a sound UNSAT test in general.
+
+**Contexts.**  Since the solver-context refactor, all state lives in
+:class:`repro.arith.context.SolverContext` objects: per-context LRU-bounded
+sat/entailment/projection caches with hit/miss/eviction statistics, and a
+push/pop assumption stack whose DNF cubes are maintained incrementally.
+The functions in this module are a thin facade over a process-wide
+*default* context, kept for compatibility and for interactive use:
+
+* every function accepts an optional ``ctx=`` keyword; passing an explicit
+  :class:`~repro.arith.context.SolverContext` routes the query (and its
+  caching) through that context;
+* with ``ctx=None`` the query goes to
+  :func:`repro.arith.context.default_context`.
+
+Callers that issue many related queries -- an SCC resolution, a bench run
+-- should create one context and pass it through (see ``docs/solver.md``
+for the scoping guidance and the cache policy).
+
+**Cache policy.**  All memo caches are LRU-bounded: at capacity the least
+recently used entry is evicted (and counted in the statistics) rather than
+the cache refusing new entries, so long runs keep benefiting from locality
+instead of freezing an arbitrary early working set.  ``clear_caches()``
+drops every module-level cache (default context, DNF memo, FM cube memo)
+and resets all statistics.
 """
 
 from __future__ import annotations
@@ -16,30 +41,30 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arith import fm
+from repro.arith.context import SolverContext, SolverStats, default_context, resolve
 from repro.arith.formula import (
     Atom,
-    BoolConst,
-    Exists,
-    FALSE,
     Formula,
-    Rel,
-    TRUE,
+    clear_dnf_cache,
     conj,
-    disj,
-    exists,
-    neg,
     to_dnf,
 )
 
-_SAT_CACHE: Dict[Formula, bool] = {}
-_ENTAIL_CACHE: Dict[Tuple[Formula, Formula], bool] = {}
-_CACHE_LIMIT = 200_000
-
 
 def clear_caches() -> None:
-    """Drop all memoised solver results (mostly useful in benchmarks)."""
-    _SAT_CACHE.clear()
-    _ENTAIL_CACHE.clear()
+    """Drop all memoised solver results and reset statistics.
+
+    Clears the default context's caches and stats, the module-level DNF
+    memo, and the FM cube-satisfiability memo (mostly useful in
+    benchmarks)."""
+    default_context().clear(reset_stats=True)
+    clear_dnf_cache()
+    fm.clear_fm_caches()
+
+
+def solver_stats(ctx: Optional[SolverContext] = None) -> SolverStats:
+    """The statistics object of *ctx* (default context when ``None``)."""
+    return resolve(ctx).stats
 
 
 def dnf_disjuncts(p: Formula) -> List[List[Atom]]:
@@ -52,169 +77,67 @@ def cube_formula(atoms: Sequence[Atom]) -> Formula:
     return conj(*atoms)
 
 
-def is_sat(p: Formula) -> bool:
+def is_sat(p: Formula, ctx: Optional[SolverContext] = None) -> bool:
     """Satisfiability over the integers (see module completeness note).
 
     On DNF blow-up the query degrades to "satisfiable" -- the conservative
     answer for every use in the inference (assumptions are kept rather
     than dropped, proofs fail rather than succeed).
     """
-    cached = _SAT_CACHE.get(p)
-    if cached is not None:
-        return cached
-    try:
-        result = any(fm.cube_is_sat(cube) for cube in to_dnf(p))
-    except MemoryError:
-        return True
-    if len(_SAT_CACHE) < _CACHE_LIMIT:
-        _SAT_CACHE[p] = result
-    return result
+    return resolve(ctx).is_sat(p)
 
 
-def is_unsat(p: Formula) -> bool:
-    return not is_sat(p)
+def is_unsat(p: Formula, ctx: Optional[SolverContext] = None) -> bool:
+    return not resolve(ctx).is_sat(p)
 
 
-def is_valid(p: Formula) -> bool:
+def is_valid(p: Formula, ctx: Optional[SolverContext] = None) -> bool:
     """Validity of a (possibly existential) formula."""
-    return is_unsat(neg(_eliminate_quantifiers(p)))
+    return resolve(ctx).is_valid(p)
 
 
-def entails(antecedent: Formula, consequent: Formula) -> bool:
+def entails(
+    antecedent: Formula,
+    consequent: Formula,
+    ctx: Optional[SolverContext] = None,
+) -> bool:
     """``antecedent => consequent`` (existentials in the consequent are
     eliminated by projection before negation)."""
-    key = (antecedent, consequent)
-    cached = _ENTAIL_CACHE.get(key)
-    if cached is not None:
-        return cached
-    try:
-        result = is_unsat(
-            conj(antecedent, neg(_eliminate_quantifiers(consequent)))
-        )
-    except MemoryError:
-        # blow-up: conservatively fail the proof obligation
-        return False
-    if len(_ENTAIL_CACHE) < _CACHE_LIMIT:
-        _ENTAIL_CACHE[key] = result
-    return result
+    return resolve(ctx).entails(antecedent, consequent)
 
 
-def equivalent(a: Formula, b: Formula) -> bool:
-    return entails(a, b) and entails(b, a)
+def equivalent(
+    a: Formula, b: Formula, ctx: Optional[SolverContext] = None
+) -> bool:
+    return resolve(ctx).equivalent(a, b)
 
 
-def model(p: Formula) -> Optional[Dict[str, Fraction]]:
+def model(
+    p: Formula, ctx: Optional[SolverContext] = None
+) -> Optional[Dict[str, Fraction]]:
     """A satisfying assignment for *p*, or ``None``."""
-    for cube in to_dnf(p):
-        env = fm.cube_model(cube)
-        if env is not None:
-            free = p.free_vars()
-            for v in free:
-                env.setdefault(v, Fraction(0))
-            if all(a.evaluate(env) for a in cube):
-                return env
-    return None
+    return resolve(ctx).model(p)
 
 
-def _eliminate_quantifiers(p: Formula) -> Formula:
-    if isinstance(p, Exists):
-        return project(p.body, eliminate=set(p.bound))
-    if isinstance(p, (BoolConst, Atom)):
-        return p
-    # Rebuild children; And/Or/Not all expose .args or .arg
-    from repro.arith.formula import And, Not, Or
-
-    if isinstance(p, And):
-        return conj(*(_eliminate_quantifiers(a) for a in p.args))
-    if isinstance(p, Or):
-        return disj(*(_eliminate_quantifiers(a) for a in p.args))
-    if isinstance(p, Not):
-        return neg(_eliminate_quantifiers(p.arg))
-    raise TypeError(f"unknown formula node {type(p).__name__}")
-
-
-def project(p: Formula, keep: Optional[Set[str]] = None,
-            eliminate: Optional[Set[str]] = None) -> Formula:
+def project(
+    p: Formula,
+    keep: Optional[Set[str]] = None,
+    eliminate: Optional[Set[str]] = None,
+    ctx: Optional[SolverContext] = None,
+) -> Formula:
     """Quantifier elimination: ``exists eliminated-vars . p``.
 
     Exactly one of *keep*/*eliminate* must be given.  The result mentions
     only the kept variables.
     """
-    if (keep is None) == (eliminate is None):
-        raise ValueError("specify exactly one of keep= or eliminate=")
-    p = _eliminate_quantifiers(p) if _has_exists(p) else p
-    cubes: List[Formula] = []
-    for cube in to_dnf(p):
-        try:
-            projected = fm.project_cube(cube, keep=keep, eliminate=eliminate)
-        except fm.Unsat:
-            continue
-        cubes.append(conj(*projected))
-    return disj(*cubes)
+    return resolve(ctx).project(p, keep=keep, eliminate=eliminate)
 
 
-def _has_exists(p: Formula) -> bool:
-    from repro.arith.formula import And, Not, Or
-
-    if isinstance(p, Exists):
-        return True
-    if isinstance(p, (And, Or)):
-        return any(_has_exists(a) for a in p.args)
-    if isinstance(p, Not):
-        return _has_exists(p.arg)
-    return False
-
-
-def simplify(p: Formula) -> Formula:
+def simplify(p: Formula, ctx: Optional[SolverContext] = None) -> Formula:
     """Semantic simplification via DNF.
 
     Drops unsatisfiable cubes, removes atoms implied by the rest of their
     cube, and removes cubes subsumed by other cubes.  The result is
     equivalent to the input (over the solver's integer semantics).
     """
-    try:
-        cubes = to_dnf(p)
-    except MemoryError:
-        return p
-    if len(cubes) > 12:
-        # Large disjunctions: quadratic pruning/subsumption would dominate
-        # the analysis; keep only the cheap unsat-cube filter.
-        sat_cubes = [c for c in cubes if fm.cube_is_sat(c)]
-        if not sat_cubes:
-            return FALSE
-        return disj(*(conj(*c) for c in sat_cubes))
-    kept_cubes: List[List[Atom]] = []
-    for cube in cubes:
-        if not fm.cube_is_sat(cube):
-            continue
-        kept_cubes.append(_prune_cube(cube))
-    # subsumption between cubes: cube A subsumes cube B when B => A
-    result: List[List[Atom]] = []
-    for i, cube in enumerate(kept_cubes):
-        ci = conj(*cube)
-        subsumed = False
-        for j, other in enumerate(kept_cubes):
-            if i == j:
-                continue
-            cj = conj(*other)
-            if entails(ci, cj) and not (entails(cj, ci) and j > i):
-                subsumed = True
-                break
-        if not subsumed:
-            result.append(cube)
-    if not result:
-        return FALSE
-    return disj(*(conj(*c) for c in result))
-
-
-def _prune_cube(cube: List[Atom]) -> List[Atom]:
-    pruned = list(cube)
-    i = 0
-    while i < len(pruned):
-        candidate = pruned[i]
-        rest = pruned[:i] + pruned[i + 1:]
-        if rest and entails(conj(*rest), candidate):
-            pruned = rest
-        else:
-            i += 1
-    return pruned
+    return resolve(ctx).simplify(p)

@@ -1,12 +1,17 @@
 """Linear expressions over named integer variables.
 
 A :class:`LinExpr` represents ``c0 + c1*v1 + ... + cn*vn`` with exact
-rational coefficients.  Instances are immutable and hashable, so they can be
-used as dictionary keys and stored in sets.
+rational coefficients.  Instances are immutable, hashable and
+**hash-consed**: constructing a :class:`LinExpr` that is structurally equal
+to a live one returns the same object, so structural equality degenerates
+to pointer equality on the fast path and the hash is computed exactly once
+per distinct expression.  The intern table holds weak references only --
+expressions are reclaimed as soon as no formula mentions them.
 """
 
 from __future__ import annotations
 
+import weakref
 from fractions import Fraction
 from typing import Dict, Iterable, Mapping, Tuple, Union
 
@@ -22,28 +27,38 @@ def _to_fraction(value: Coeff) -> Fraction:
 
 
 class LinExpr:
-    """An immutable linear expression ``const + sum(coeff[v] * v)``.
+    """An immutable, interned linear expression ``const + sum(coeff[v]*v)``.
 
     Zero coefficients are never stored, so two expressions are equal exactly
-    when they denote the same affine function.
+    when they denote the same affine function -- and, thanks to interning,
+    exactly when they are the same object.
     """
 
-    __slots__ = ("_coeffs", "_const", "_hash")
+    __slots__ = ("_coeffs", "_const", "_hash", "__weakref__")
 
-    def __init__(self, coeffs: Mapping[str, Coeff] = (), constant: Coeff = 0):
+    _intern: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, coeffs: Mapping[str, Coeff] = (), constant: Coeff = 0):
         items = coeffs.items() if isinstance(coeffs, Mapping) else coeffs
         cleaned: Dict[str, Fraction] = {}
         for name, c in items:
             f = c if type(c) is Fraction else _to_fraction(c)
             if f != 0:
                 cleaned[name] = f
-        self._coeffs: Tuple[Tuple[str, Fraction], ...] = tuple(
+        key_coeffs: Tuple[Tuple[str, Fraction], ...] = tuple(
             sorted(cleaned.items())
         )
-        self._const = (
-            constant if type(constant) is Fraction else _to_fraction(constant)
-        )
-        self._hash = None  # computed lazily
+        const = constant if type(constant) is Fraction else _to_fraction(constant)
+        key = (key_coeffs, const)
+        hit = cls._intern.get(key)
+        if hit is not None:
+            return hit
+        self = object.__new__(cls)
+        self._coeffs = key_coeffs
+        self._const = const
+        self._hash = hash(key)
+        cls._intern[key] = self
+        return self
 
     # -- accessors ---------------------------------------------------------
 
@@ -159,6 +174,10 @@ class LinExpr:
     # -- dunder ---------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        # Interning makes structurally-equal live expressions identical;
+        # keep the structural fallback for robustness (e.g. copies).
         return (
             isinstance(other, LinExpr)
             and self._coeffs == other._coeffs
@@ -166,8 +185,6 @@ class LinExpr:
         )
 
     def __hash__(self) -> int:
-        if self._hash is None:
-            object.__setattr__(self, "_hash", hash((self._coeffs, self._const)))
         return self._hash
 
     def __repr__(self) -> str:

@@ -1,4 +1,4 @@
-"""Fig. 10- and Fig. 11-shaped result tables.
+"""Fig. 10- and Fig. 11-shaped result tables, plus solver statistics.
 
 ``fig10_table`` runs {AProVE-like, ULTIMATE-like, HIPTNT+} over the four
 benchmark categories and prints Y/N/U/T-O/time per (tool, category) --
@@ -19,7 +19,13 @@ from repro.baselines import (
     UltimateLikeAnalyzer,
 )
 from repro.bench.programs import BenchProgram, CATEGORIES, all_programs
-from repro.bench.runner import BenchOutcome, HipTNTPlus, run_tool, tally
+from repro.bench.runner import (
+    BenchOutcome,
+    HipTNTPlus,
+    run_tool,
+    tally,
+    tally_solver_stats,
+)
 
 
 class _HipWrapper:
@@ -29,6 +35,7 @@ class _HipWrapper:
 
     def __init__(self) -> None:
         self._main: Optional[str] = None
+        self.last_stats = None  # forwarded from the wrapped tool
 
     def bind(self, main: str) -> "_HipWrapper":
         self._main = main
@@ -36,7 +43,11 @@ class _HipWrapper:
 
     def analyze(self, program):
         assert self._main is not None
-        return HipTNTPlus(self._main).analyze(program)
+        tool = HipTNTPlus(self._main)
+        try:
+            return tool.analyze(program)
+        finally:
+            self.last_stats = tool.last_stats
 
 
 def run_fig10(
@@ -98,7 +109,25 @@ def fig10_table(
             f"{t['time']:>6.1f}"
         )
         lines.append(row)
+        solver_line = _solver_summary(total)
+        if solver_line:
+            lines.append(solver_line)
     return "\n".join(lines)
+
+
+def _solver_summary(outcomes: List[BenchOutcome]) -> str:
+    """One line of aggregated solver-cache statistics, or '' when no run
+    reported any (only HipTNT+ sets ``last_stats``; the baselines also do
+    arithmetic, but through the default context, and report nothing)."""
+    s = tally_solver_stats(outcomes)
+    if not s["runs_reporting"]:
+        return ""
+    return (
+        f"  \u21b3 solver: {s['queries']} queries, "
+        f"{100.0 * s['hit_rate']:.1f}% cache hits, "
+        f"{s['evictions']} evictions, "
+        f"{s['fm_eliminations']} FM eliminations"
+    )
 
 
 def run_fig11(
@@ -137,4 +166,7 @@ def fig11_table(
             f"{tool:<12}{len(outcomes):>6}{t['Y']:>5}{t['N']:>5}"
             f"{t['U']:>5}{t['T/O']:>5}{t['time']:>8.1f}"
         )
+        solver_line = _solver_summary(outcomes)
+        if solver_line:
+            lines.append(solver_line)
     return "\n".join(lines)

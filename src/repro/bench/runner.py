@@ -11,11 +11,13 @@ does not have any false positive nor negative").
 from __future__ import annotations
 
 import signal
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol
 
-from repro.core.pipeline import Verdict, classify, infer_program
+from repro.arith.context import SolverStats
+from repro.core.pipeline import Verdict, infer_program
 from repro.bench.programs import BenchProgram
 
 
@@ -32,6 +34,7 @@ class BenchOutcome:
     verdict: Optional[Verdict]  # None means timeout
     seconds: float
     sound: bool  # definite answers must match the ground truth
+    solver_stats: Optional[Dict[str, int]] = None  # per-run solver counters
 
     @property
     def timed_out(self) -> bool:
@@ -51,6 +54,11 @@ class HipTNTPlus:
     The per-group solver budget is kept below the harness timeout so the
     tool degrades to conditional/U answers instead of timing out --
     matching the paper's zero-timeout column for HIPTNT+.
+
+    After each ``analyze`` call, ``last_stats`` holds the run's aggregated
+    :class:`~repro.arith.context.SolverStats`; ``run_tool`` copies it into
+    the :class:`BenchOutcome` so tallies and tables can report solver
+    cache behaviour alongside verdicts.
     """
 
     name = "HIPTNT+"
@@ -58,25 +66,90 @@ class HipTNTPlus:
     def __init__(self, main: str, time_budget: float = 15.0):
         self.main = main
         self.time_budget = time_budget
+        self.last_stats: Optional[SolverStats] = None
 
     def analyze(self, program) -> Verdict:
+        self.last_stats = None  # a timed-out run must not inherit old stats
         result = infer_program(program, time_budget=self.time_budget)
-        return classify(result.specs[self.main])
+        self.last_stats = result.solver_stats
+        return result.verdict(self.main)
+
+
+#: Retry period for the interval timer: if an alarm lands while the
+#: interpreter is inside a C-invoked callback (a GC callback, a weakref
+#: finalizer), the raised exception is swallowed as "unraisable" -- the
+#: repeating interval re-fires until a raise sticks in normal bytecode.
+_REARM_INTERVAL = 0.05
 
 
 def _with_timeout(fn, seconds: float):
-    """Run *fn* under a SIGALRM-based wall-clock budget (POSIX only)."""
+    """Run *fn* under a wall-clock budget.
 
+    On the main thread this uses a SIGALRM interval timer; nesting is
+    supported (a previously armed ``ITIMER_REAL`` is saved and re-armed
+    with its remaining budget afterwards), and the inner budget never
+    outlives an enclosing one.  Off the main thread -- where Python
+    forbids ``signal.signal`` -- a daemon-thread watchdog is used instead:
+    on expiry the worker is abandoned (best effort; it cannot be
+    interrupted and may keep computing until the process exits).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return _with_timeout_watchdog(fn, seconds)
+    return _with_timeout_sigalrm(fn, seconds)
+
+
+def _with_timeout_sigalrm(fn, seconds: float):
     def handler(signum, frame):
         raise AnalysisTimeout()
 
-    old = signal.signal(signal.SIGALRM, handler)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    old_handler = signal.signal(signal.SIGALRM, handler)
+    prev_delay, prev_interval = signal.getitimer(signal.ITIMER_REAL)
+    start = time.monotonic()
+    # Never outlive an enclosing budget that expires sooner than ours.
+    budget = seconds if prev_delay == 0 else min(seconds, prev_delay)
+    signal.setitimer(signal.ITIMER_REAL, budget, _REARM_INTERVAL)
     try:
         return fn()
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
-        signal.signal(signal.SIGALRM, old)
+        signal.signal(signal.SIGALRM, old_handler)
+        if prev_delay > 0:
+            # Restore the outer timer with whatever budget it has left; if
+            # it expired while we ran, let it fire (almost) immediately.
+            remaining = prev_delay - (time.monotonic() - start)
+            signal.setitimer(
+                signal.ITIMER_REAL, max(remaining, 1e-6), prev_interval
+            )
+
+
+def _with_timeout_watchdog(fn, seconds: float):
+    """Thread-based fallback: run *fn* in a daemon worker, abandon it on
+    expiry.  The worker's answer (or exception) is relayed when it beats
+    the deadline.
+
+    Caveat: an abandoned worker keeps computing until the process exits,
+    so it can keep touching the process-global solver caches and FM
+    counters; solver statistics of runs executed concurrently with an
+    abandoned worker are best-effort."""
+    outcome: List[object] = []
+    failure: List[BaseException] = []
+
+    def target() -> None:
+        try:
+            outcome.append(fn())
+        except BaseException as exc:  # relayed to the caller below
+            failure.append(exc)
+
+    worker = threading.Thread(
+        target=target, daemon=True, name="bench-watchdog-worker"
+    )
+    worker.start()
+    worker.join(seconds)
+    if worker.is_alive():
+        raise AnalysisTimeout()
+    if failure:
+        raise failure[0]
+    return outcome[0]
 
 
 def run_tool(
@@ -101,22 +174,44 @@ def run_tool(
         sound = bench.expected is Verdict.TERMINATING
     elif verdict is Verdict.NONTERMINATING:
         sound = bench.expected is Verdict.NONTERMINATING
+    stats = getattr(tool, "last_stats", None)
     return BenchOutcome(
         program=bench.name,
         tool=tool.name,
         verdict=verdict,
         seconds=elapsed,
         sound=sound,
+        solver_stats=stats.as_dict() if isinstance(stats, SolverStats) else None,
     )
 
 
 def tally(outcomes: List[BenchOutcome]) -> Dict[str, object]:
     """Aggregate Y/N/U/T-O counts and total time (excluding timeouts),
-    exactly the columns of paper Fig. 10."""
+    exactly the columns of paper Fig. 10, plus aggregated solver-cache
+    statistics under ``"solver"`` for the runs that report them."""
     y = sum(1 for o in outcomes if o.verdict is Verdict.TERMINATING)
     n = sum(1 for o in outcomes if o.verdict is Verdict.NONTERMINATING)
     u = sum(1 for o in outcomes if o.verdict is Verdict.UNKNOWN)
     to = sum(1 for o in outcomes if o.timed_out)
     t = sum(o.seconds for o in outcomes if not o.timed_out)
     unsound = sum(1 for o in outcomes if not o.sound)
-    return {"Y": y, "N": n, "U": u, "T/O": to, "time": t, "unsound": unsound}
+    return {
+        "Y": y, "N": n, "U": u, "T/O": to, "time": t, "unsound": unsound,
+        "solver": tally_solver_stats(outcomes),
+    }
+
+
+def tally_solver_stats(outcomes: List[BenchOutcome]) -> Dict[str, object]:
+    """Sum the per-run solver counters of *outcomes* (queries, cache hits,
+    evictions, raw FM eliminations) and derive the overall hit rate."""
+    agg = {"queries": 0, "hits": 0, "evictions": 0, "fm_eliminations": 0}
+    reported = 0
+    for o in outcomes:
+        if not o.solver_stats:
+            continue
+        reported += 1
+        for key in agg:
+            agg[key] += o.solver_stats.get(key, 0)
+    agg["runs_reporting"] = reported
+    agg["hit_rate"] = agg["hits"] / agg["queries"] if agg["queries"] else 0.0
+    return agg

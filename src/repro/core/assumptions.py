@@ -29,7 +29,7 @@ from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.arith.formula import Formula, TRUE, conj
-from repro.arith.solver import is_sat
+from repro.arith.context import SolverContext, resolve
 from repro.core.predicates import (
     Loop,
     MayLoop,
@@ -78,6 +78,7 @@ Assumption = Union[PreAssume, PostAssume]
 def filter_trivial(
     assumptions: Sequence[PreAssume],
     mutually_recursive: Optional[set] = None,
+    ctx: Optional["SolverContext"] = None,
 ) -> List[PreAssume]:
     """Remove trivial pre-assumptions (paper's ``filter`` in [TNT-CALL]).
 
@@ -88,6 +89,7 @@ def filter_trivial(
        caller's SCC: a Term-RHS assumption is kept only if its LHS pair
        belongs to it -- those are base-case-reachability edges).
     """
+    ctx = resolve(ctx)
     out: List[PreAssume] = []
     for a in assumptions:
         if isinstance(a.lhs, (Loop, MayLoop)):
@@ -100,12 +102,16 @@ def filter_trivial(
             and (not isinstance(a.lhs, PreRef) or a.lhs.name not in mutually_recursive)
         ):
             continue
-        if not is_sat(a.ctx):
+        if not ctx.is_sat(a.ctx):
             continue
         out.append(a)
     return out
 
 
-def filter_post(assumptions: Sequence[PostAssume]) -> List[PostAssume]:
+def filter_post(
+    assumptions: Sequence[PostAssume],
+    ctx: Optional["SolverContext"] = None,
+) -> List[PostAssume]:
     """Drop post-assumptions with unsatisfiable contexts."""
-    return [a for a in assumptions if is_sat(conj(a.ctx, a.guard))]
+    ctx = resolve(ctx)
+    return [a for a in assumptions if ctx.is_sat(conj(a.ctx, a.guard))]

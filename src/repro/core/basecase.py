@@ -21,10 +21,11 @@ case and fresh unknown children for each disjunct of ``not beta``
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.arith.context import SolverContext, resolve
 from repro.arith.formula import FALSE, Formula, TRUE, conj, disj, neg
-from repro.arith.solver import dnf_disjuncts, entails, is_sat, project, simplify
+from repro.arith.solver import dnf_disjuncts
 from repro.core.assumptions import PostAssume, PreAssume
 from repro.core.predicates import (
     MayLoop,
@@ -38,14 +39,17 @@ from repro.core.specs import Case, DefStore
 from repro.core.verifier import MethodAssumptions
 
 
-def syn_base(ma: MethodAssumptions) -> Formula:
+def syn_base(
+    ma: MethodAssumptions, ctx: Optional[SolverContext] = None
+) -> Formula:
     """The base-case termination precondition over the method's params."""
+    ctx = resolve(ctx)
     params = set(ma.params)
     recursive_regions: List[Formula] = []
     mayloop_regions: List[Formula] = []
     for a in ma.pre_assumptions:
         try:
-            region = project(a.ctx, keep=params)
+            region = ctx.project(a.ctx, keep=params)
         except MemoryError:
             region = TRUE  # over-approximating rho only shrinks the base
         if isinstance(a.rhs, PreRef):
@@ -61,31 +65,39 @@ def syn_base(ma: MethodAssumptions) -> Formula:
             if isinstance(p, PostVal) and not p.reachable:
                 beta = conj(beta, neg(g))
         try:
-            base_regions.append(project(beta, keep=params))
+            base_regions.append(ctx.project(beta, keep=params))
         except MemoryError:
             continue  # dropping a base contribution is sound (under-approx)
     rho = disj(*recursive_regions, *mayloop_regions)
     percent = disj(*base_regions)
-    return simplify(conj(percent, neg(rho)))
+    return ctx.simplify(conj(percent, neg(rho)))
 
 
-def exclusive_partition(p: Formula) -> List[Formula]:
+def exclusive_partition(
+    p: Formula, ctx: Optional[SolverContext] = None
+) -> List[Formula]:
     """Split *p* into satisfiable, mutually exclusive disjuncts covering it.
 
     DNF cubes can overlap; the k-th output disjunct is
     ``cube_k /\\ not cube_1 /\\ ... /\\ not cube_{k-1}``.
     """
+    ctx = resolve(ctx)
     out: List[Formula] = []
     taken: Formula = FALSE
     for cube in dnf_disjuncts(p):
         region = conj(conj(*cube), neg(taken))
-        if is_sat(region):
-            out.append(simplify(region))
+        if ctx.is_sat(region):
+            out.append(ctx.simplify(region))
             taken = disj(taken, conj(*cube))
     return out
 
 
-def refine_base(store: DefStore, pair: str, beta: Formula) -> None:
+def refine_base(
+    store: DefStore,
+    pair: str,
+    beta: Formula,
+    ctx: Optional[SolverContext] = None,
+) -> None:
     """Refine a pair with its base case; install the new definition.
 
     After the call::
@@ -97,15 +109,16 @@ def refine_base(store: DefStore, pair: str, beta: Formula) -> None:
     unsatisfiable only the unknown children are produced; when ``beta`` is
     valid the pair resolves to ``Term``/``true`` outright.
     """
+    ctx = resolve(ctx)
     args = store.pair_args[pair]
     cases: List[Case] = []
-    if is_sat(beta):
-        cases.append(Case(simplify(beta), TERM, POST_TRUE))
+    if ctx.is_sat(beta):
+        cases.append(Case(ctx.simplify(beta), TERM, POST_TRUE))
     try:
-        regions = exclusive_partition(neg(beta))
+        regions = exclusive_partition(neg(beta), ctx=ctx)
     except MemoryError:
         remainder = neg(beta)
-        regions = [remainder] if is_sat(remainder) else []
+        regions = [remainder] if ctx.is_sat(remainder) else []
     for mu in regions:
         child = store.new_pair(pair.split("@", 1)[-1], args)
         cases.append(Case(mu, child, child))

@@ -5,18 +5,31 @@ mutually exclusive, satisfiable regions covering their disjunction;
 ``subst_unk`` installs the refined definition: one fresh unknown pair per
 region plus the complement region, so the resulting guard family is
 feasible, exclusive and exhaustive (paper Definition 2).
+
+Dead splits -- abduced conditions that are unsatisfiable, or valid (their
+complement is empty, so splitting on them changes nothing) -- are filtered
+out *before* any definition is installed: installing one would trigger a
+restart of the core iteration that re-derives the exact same state,
+silently burning a ``MAX_ITER`` budget slot (twice, counting the restart
+sweep) without refining anything.  Dropped conditions are logged at debug
+level.
 """
 
 from __future__ import annotations
 
-from typing import List
+import logging
+from typing import List, Optional
 
+from repro.arith.context import SolverContext, resolve
 from repro.arith.formula import FALSE, Formula, TRUE, conj, disj, neg
-from repro.arith.solver import is_sat, simplify
 from repro.core.specs import Case, DefStore
 
+logger = logging.getLogger(__name__)
 
-def split(conditions: List[Formula]) -> List[Formula]:
+
+def split(
+    conditions: List[Formula], ctx: Optional[SolverContext] = None
+) -> List[Formula]:
     """Partition overlapping conditions into exclusive regions.
 
     The regions are the satisfiable cells of the boolean algebra generated
@@ -25,23 +38,24 @@ def split(conditions: List[Formula]) -> List[Formula]:
     """
     if not conditions:
         return []
+    ctx = resolve(ctx)
     cells: List[Formula] = [TRUE]
     for c in conditions:
         new_cells: List[Formula] = []
         for cell in cells:
             inside = conj(cell, c)
-            if is_sat(inside):
+            if ctx.is_sat(inside):
                 new_cells.append(inside)
             outside = conj(cell, neg(c))
-            if is_sat(outside):
+            if ctx.is_sat(outside):
                 new_cells.append(outside)
         cells = new_cells
     union = disj(*conditions)
     out: List[Formula] = []
     for cell in cells:
-        if is_sat(conj(cell, union)):
+        if ctx.is_sat(conj(cell, union)):
             inside = conj(cell, union)
-            out.append(simplify(inside))
+            out.append(ctx.simplify(inside))
     # Dedup identical regions (simplify is canonical enough in practice;
     # structural equality is a safe approximation).
     seen = set()
@@ -53,18 +67,49 @@ def split(conditions: List[Formula]) -> List[Formula]:
     return unique
 
 
-def subst_unk(store: DefStore, pair: str, conditions: List[Formula]) -> bool:
+def _live_conditions(
+    conditions: List[Formula], pair: str, ctx: SolverContext
+) -> List[Formula]:
+    """Filter out dead split conditions (unsat, or valid == empty
+    complement): they cannot refine the pair, and installing them would
+    waste a whole solve iteration on a no-op restart."""
+    live: List[Formula] = []
+    for c in conditions:
+        if not ctx.is_sat(c):
+            logger.debug(
+                "dropping unsat case-split condition %r for %s", c, pair
+            )
+            continue
+        if not ctx.is_sat(neg(c)):
+            logger.debug(
+                "dropping valid (complement-empty) case-split condition "
+                "%r for %s", c, pair
+            )
+            continue
+        live.append(c)
+    return live
+
+
+def subst_unk(
+    store: DefStore,
+    pair: str,
+    conditions: List[Formula],
+    ctx: Optional[SolverContext] = None,
+) -> bool:
     """Refine an unknown pair along *conditions* plus their complement.
 
     Returns ``False`` (no refinement possible) when the conditions are
-    empty or the split would not change anything -- the caller then marks
-    the pair ``MayLoop`` via ``finalize``.
+    empty, dead (unsatisfiable or valid), or the split would not change
+    anything -- the caller then marks the pair ``MayLoop`` via
+    ``finalize`` instead of burning an iteration on a no-op restart.
     """
-    regions = split(conditions)
+    ctx = resolve(ctx)
+    conditions = _live_conditions(conditions, pair, ctx)
+    regions = split(conditions, ctx=ctx)
     if not regions:
         return False
-    complement = simplify(conj(*(neg(c) for c in conditions)))
-    if is_sat(complement):
+    complement = ctx.simplify(conj(*(neg(c) for c in conditions)))
+    if ctx.is_sat(complement):
         regions = regions + [complement]
     if len(regions) <= 1:
         return False

@@ -40,13 +40,8 @@ from repro.arith.formula import (
     disj,
     neg,
 )
-from repro.arith.solver import (
-    dnf_disjuncts,
-    entails,
-    is_sat,
-    project,
-    simplify,
-)
+from repro.arith.context import SolverContext, resolve
+from repro.arith.solver import dnf_disjuncts
 from repro.arith.terms import LinExpr, var
 from repro.core.assumptions import PostAssume
 from repro.core.predicates import PostRef, PostVal
@@ -74,20 +69,26 @@ def _targets(t: PostAssume, scc: Set[str]) -> List[Formula]:
     return out
 
 
-def check_unreachable(t: PostAssume, scc: Set[str], params: Tuple[str, ...]) -> bool:
+def check_unreachable(
+    t: PostAssume,
+    scc: Set[str],
+    params: Tuple[str, ...],
+    ctx: Optional[SolverContext] = None,
+) -> bool:
     """The ``abd_inf`` success check for one post-assumption.
 
     Non-termination is an existential property: internal choices (nondet
     draws, havoced loop results) may be resolved angelically, so the check
     compares the parameter-projections of both sides.
     """
+    ctx = resolve(ctx)
     context = conj(t.ctx, t.guard)
-    if not is_sat(context):
+    if not ctx.is_sat(context):
         return True
     targets = _targets(t, scc)
     if not targets:
         return False
-    direct = entails(context, disj(*targets))
+    direct = ctx.entails(context, disj(*targets))
     if direct:
         return True
     # Angelic resolution applies ONLY to genuine nondeterministic draws
@@ -103,17 +104,18 @@ def check_unreachable(t: PostAssume, scc: Set[str], params: Tuple[str, ...]) -> 
         return False
     keep = (context.free_vars() | disj(*targets).free_vars()) - angelic
     try:
-        lhs = project(context, keep=keep)
-        rhs = project(conj(context, disj(*targets)), keep=keep)
+        lhs = ctx.project(context, keep=keep)
+        rhs = ctx.project(conj(context, disj(*targets)), keep=keep)
     except MemoryError:
         return False
-    return entails(lhs, rhs)
+    return ctx.entails(lhs, rhs)
 
 
 def abduce_conditions(
     t: PostAssume,
     scc: Set[str],
     params: Tuple[str, ...],
+    ctx: Optional[SolverContext] = None,
 ) -> List[Formula]:
     """Abductive inference of case-split conditions (paper Sec. 5.6).
 
@@ -123,59 +125,77 @@ def abduce_conditions(
     variables is tried first; the weakest precondition (universal
     projection) is the fallback.
     """
+    ctx = resolve(ctx)
     context = conj(t.ctx, t.guard)
-    if not is_sat(context):
+    if not ctx.is_sat(context):
         return []
     conditions: List[Formula] = []
-    for beta in _targets(t, scc):
-        if not is_sat(conj(context, beta)):
-            continue
-        try:
-            alpha = _abduce_one(context, beta, params)
-        except MemoryError:
-            alpha = None  # blow-up: skip this candidate
-        if alpha is not None:
-            conditions.append(alpha)
+    # All per-target queries share the assumption frame, so the context
+    # formula's DNF cubes are converted once and reused incrementally.
+    with ctx.assuming(context):
+        for beta in _targets(t, scc):
+            if not ctx.is_sat(beta):
+                continue
+            try:
+                alpha = _abduce_one(context, beta, params, ctx)
+            except MemoryError:
+                alpha = None  # blow-up: skip this candidate
+            if alpha is not None:
+                conditions.append(alpha)
     return conditions
 
 
 def _abduce_one(
-    context: Formula, beta: Formula, params: Tuple[str, ...]
+    context: Formula,
+    beta: Formula,
+    params: Tuple[str, ...],
+    ctx: Optional[SolverContext] = None,
 ) -> Optional[Formula]:
     """One abduction: alpha over *params* with context /\\ alpha => beta."""
     # Template search, fewest-variables first (the paper's "optimal
     # constraints ... minimum number of program variables").
+    ctx = resolve(ctx)
     for size in range(1, min(MAX_TEMPLATE_VARS, len(params)) + 1):
         for subset in itertools.combinations(sorted(params), size):
-            alpha = _template_abduction(context, beta, subset)
-            if alpha is not None and _valid_abduction(context, beta, alpha):
+            alpha = _template_abduction(context, beta, subset, ctx)
+            if alpha is not None and _valid_abduction(context, beta, alpha, ctx):
                 return alpha
     # Fallback: weakest precondition over the parameters,
     #   alpha = not exists(other vars) . context /\\ not beta
     others = (context.free_vars() | beta.free_vars()) - set(params)
     try:
-        wp = neg(project(conj(context, neg(beta)), keep=set(params)))
+        wp = neg(ctx.project(conj(context, neg(beta)), keep=set(params)))
     except MemoryError:
         return None
-    wp = simplify(wp)
-    if _valid_abduction(context, beta, wp):
+    wp = ctx.simplify(wp)
+    if _valid_abduction(context, beta, wp, ctx):
         return wp
     return None
 
 
-def _valid_abduction(context: Formula, beta: Formula, alpha: Formula) -> bool:
+def _valid_abduction(
+    context: Formula,
+    beta: Formula,
+    alpha: Formula,
+    ctx: Optional[SolverContext] = None,
+) -> bool:
+    ctx = resolve(ctx)
     return (
-        is_sat(conj(context, alpha))
-        and entails(conj(context, alpha), beta)
+        ctx.is_sat(conj(context, alpha))
+        and ctx.entails(conj(context, alpha), beta)
     )
 
 
 def _template_abduction(
-    context: Formula, beta: Formula, subset: Tuple[str, ...]
+    context: Formula,
+    beta: Formula,
+    subset: Tuple[str, ...],
+    ctx: Optional[SolverContext] = None,
 ) -> Optional[Formula]:
     """Farkas abduction with template ``a0 + sum a_i v_i >= 0`` over
     *subset*, the template's own multiplier normalised to 1."""
-    ctx_cubes = [c for c in dnf_disjuncts(context) if is_sat(conj(*c))]
+    ctx = resolve(ctx)
+    ctx_cubes = [c for c in dnf_disjuncts(context) if ctx.is_sat(conj(*c))]
     beta_cubes = dnf_disjuncts(beta)
     if not ctx_cubes or len(beta_cubes) != 1:
         return None
@@ -243,11 +263,13 @@ def prove_nonterm(
     scc: List[str],
     post_assumptions: Sequence[PostAssume],
     store: DefStore,
+    ctx: Optional[SolverContext] = None,
 ) -> Tuple[bool, Dict[str, List[Formula]]]:
     """The paper's ``prove_NonTerm``: try to resolve the SCC as
     ``Loop``/``false``; on failure return abduced case-split conditions per
     pair (over the pair's formal parameters).
     """
+    ctx = resolve(ctx)
     members = set(scc)
     all_ok = True
     split_conditions: Dict[str, List[Formula]] = {u: [] for u in scc}
@@ -255,12 +277,12 @@ def prove_nonterm(
         params = store.pair_args[u]
         ts = filter_rel(post_assumptions, u)
         for t in ts:
-            if check_unreachable(t, members, t.rhs.args):
+            if check_unreachable(t, members, t.rhs.args, ctx=ctx):
                 continue
             all_ok = False
             # Abduce over the occurrence's argument variables, then rename
             # the result to the pair's formal parameters.
-            raw = abduce_conditions(t, members, t.rhs.args)
+            raw = abduce_conditions(t, members, t.rhs.args, ctx=ctx)
             mapping = {a: f for a, f in zip(t.rhs.args, params)}
             for alpha in raw:
                 renamed = alpha.rename(mapping)

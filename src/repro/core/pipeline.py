@@ -20,6 +20,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.arith.context import SolverContext, SolverStats
 from repro.arith.solver import is_sat
 from repro.core.assumptions import filter_post, filter_trivial
 from repro.core.predicates import Loop, MayLoop, Term
@@ -48,15 +49,21 @@ class InferenceResult:
     program: Program
     specs: Dict[str, CaseSpec]
     store: DefStore
+    solver_stats: Optional[SolverStats] = None
+    # per-method solver context (the SCC context the method was resolved
+    # with), so post-hoc queries such as classification reuse warm caches
+    # and are counted in solver_stats
+    contexts: Optional[Dict[str, SolverContext]] = None
 
     def verdict(self, method: str) -> Verdict:
-        return classify(self.specs[method])
+        ctx = self.contexts.get(method) if self.contexts else None
+        return classify(self.specs[method], ctx=ctx)
 
     def pretty(self) -> str:
         return "\n\n".join(spec.pretty() for spec in self.specs.values())
 
 
-def classify(spec: CaseSpec) -> Verdict:
+def classify(spec: CaseSpec, ctx: Optional[SolverContext] = None) -> Verdict:
     """Collapse a case summary to a Y/N/U verdict.
 
     ``Y`` -- every feasible case is ``Term`` (termination for all inputs);
@@ -66,7 +73,7 @@ def classify(spec: CaseSpec) -> Verdict:
     has_loop = False
     has_mayloop = False
     for case in spec.cases:
-        if not is_sat(case.guard):
+        if not is_sat(case.guard, ctx):
             continue
         if isinstance(case.pred, Loop):
             has_loop = True
@@ -86,15 +93,32 @@ def infer_program(
     max_iter: int = 8,
     desugared: bool = False,
     time_budget: float = 30.0,
+    solver_ctx: Optional[SolverContext] = None,
 ) -> InferenceResult:
-    """Infer termination/non-termination summaries for every method."""
+    """Infer termination/non-termination summaries for every method.
+
+    Solver state is scoped per call-graph SCC: each group gets its own
+    :class:`~repro.arith.context.SolverContext`, so the whole
+    specialise/analyse/split iteration of that group shares one
+    incremental cache, while the statistics aggregate program-wide.
+    Passing *solver_ctx* instead shares a single caller-owned context
+    across every group (and the heap abstraction).
+    """
     from repro.seplog.abstraction import abstract_program  # local: optional dep
+
+    stats = solver_ctx.stats if solver_ctx is not None else SolverStats()
+
+    def group_ctx() -> SolverContext:
+        if solver_ctx is not None:
+            return solver_ctx
+        return SolverContext(stats=stats)
 
     if not desugared:
         program = desugar_program(program)
-    program = abstract_program(program)
+    program = abstract_program(program, ctx=group_ctx())
     store = DefStore()
     solved: Dict[str, CaseSpec] = {}
+    contexts: Dict[str, SolverContext] = {}
     for scc in method_sccs(program):
         group_methods = [
             program.methods[name]
@@ -106,27 +130,35 @@ def infer_program(
         pairs = {
             m.name: f"U0@{m.name}" for m in group_methods
         }
+        ctx = group_ctx()
         for m in group_methods:
             store.register_root(pairs[m.name], tuple(m.param_names))
-        verifier = Verifier(program, pairs=pairs, solved=solved)
+        verifier = Verifier(program, pairs=pairs, solved=solved, ctx=ctx)
         group: List[MethodAssumptions] = []
         mutual = set(pairs.values())
         for m in group_methods:
             ma = verifier.collect(m)
             ma.pre_assumptions = filter_trivial(
-                ma.pre_assumptions, mutually_recursive=mutual
+                ma.pre_assumptions, mutually_recursive=mutual, ctx=ctx
             )
-            ma.post_assumptions = filter_post(ma.post_assumptions)
+            ma.post_assumptions = filter_post(ma.post_assumptions, ctx=ctx)
             group.append(ma)
-        TNTSolver(store, max_iter=max_iter, time_budget=time_budget).solve(group)
+        TNTSolver(
+            store, max_iter=max_iter, time_budget=time_budget, ctx=ctx
+        ).solve(group)
         for m in group_methods:
             from repro.arith.formula import TRUE as _TRUE
 
             requires = m.requires if m.requires is not None else _TRUE
             solved[m.name] = store.case_spec(
-                pairs[m.name], m.name, tuple(m.param_names), context=requires
+                pairs[m.name], m.name, tuple(m.param_names),
+                context=requires, ctx=ctx,
             )
-    return InferenceResult(program=program, specs=solved, store=store)
+            contexts[m.name] = ctx
+    return InferenceResult(
+        program=program, specs=solved, store=store, solver_stats=stats,
+        contexts=contexts,
+    )
 
 
 def infer_source(

@@ -23,18 +23,20 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.arith.context import SolverContext, resolve
 from repro.arith.farkas import LPProblem, add_implication, instantiate, template
 from repro.arith.formula import Atom, Formula, atom_ge, atom_le, conj
-from repro.arith.solver import dnf_disjuncts, entails, is_sat
+from repro.arith.solver import dnf_disjuncts
 from repro.arith.terms import LinExpr, var
 from repro.core.reachgraph import Edge
 
 MAX_LEX_DEPTH = 4
 
 
-def _edge_cubes(edge: Edge) -> List[List[Atom]]:
+def _edge_cubes(edge: Edge, ctx: Optional[SolverContext] = None) -> List[List[Atom]]:
     """Satisfiable DNF cubes of an edge context."""
-    return [c for c in dnf_disjuncts(edge.ctx) if is_sat(conj(*c))]
+    ctx = resolve(ctx)
+    return [c for c in dnf_disjuncts(edge.ctx) if ctx.is_sat(conj(*c))]
 
 
 def _rank_at(template_coeffs: Dict[str, LinExpr], args: Sequence[str],
@@ -81,8 +83,13 @@ def _gcd(a: int, b: int) -> int:
 class RankSynthesizer:
     """Synthesis of (lexicographic) linear ranking functions per SCC."""
 
-    def __init__(self, pair_args: Dict[str, Tuple[str, ...]]):
+    def __init__(
+        self,
+        pair_args: Dict[str, Tuple[str, ...]],
+        ctx: Optional[SolverContext] = None,
+    ):
         self.pair_args = pair_args
+        self.ctx = resolve(ctx)
 
     # -- single linear component ------------------------------------------------
 
@@ -105,7 +112,7 @@ class RankSynthesizer:
             dst_names, dst_c0 = coeff_names[edge.dst]
             src_formals = list(self.pair_args[edge.src])
             dst_formals = list(self.pair_args[edge.dst])
-            for cube in _edge_cubes(edge):
+            for cube in _edge_cubes(edge, self.ctx):
                 xs = sorted(
                     set(edge.src_args)
                     | set(edge.dst_args)
@@ -178,7 +185,7 @@ class RankSynthesizer:
                 obligations = [atom_ge(r_src, 0), atom_ge(r_src - r_dst, 1)]
             else:
                 obligations = [atom_ge(r_src - r_dst, 0)]
-            if not entails(edge.ctx, conj(*obligations)):
+            if not self.ctx.entails(edge.ctx, conj(*obligations)):
                 return False
         return True
 
@@ -194,9 +201,9 @@ class RankSynthesizer:
             r_dst = _instantiated(
                 ranks[edge.dst], self.pair_args[edge.dst], edge.dst_args
             )
-            if entails(edge.ctx, atom_ge(r_src - r_dst, 1)) and entails(
-                edge.ctx, atom_ge(r_src, 0)
-            ):
+            if self.ctx.entails(
+                edge.ctx, atom_ge(r_src - r_dst, 1)
+            ) and self.ctx.entails(edge.ctx, atom_ge(r_src, 0)):
                 out.add(idx)
         return out
 

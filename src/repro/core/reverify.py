@@ -23,10 +23,10 @@ suite asserts it is empty for every program it infers.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.arith.context import SolverContext, resolve
 from repro.arith.formula import FALSE, Formula, atom_ge, conj, disj, neg
-from repro.arith.solver import entails, is_sat, is_valid
 from repro.arith.terms import var
 from repro.core.pipeline import InferenceResult
 from repro.core.predicates import Loop, MayLoop, Term
@@ -34,19 +34,26 @@ from repro.core.resources import LOOP_CAPACITY, RC, consume
 from repro.core.specs import CaseSpec
 
 
-def _check_definition2(spec: CaseSpec, failures: List[str]) -> None:
+def _check_definition2(
+    spec: CaseSpec, failures: List[str], ctx: Optional[SolverContext] = None
+) -> None:
+    ctx = resolve(ctx)
     guards = [c.guard for c in spec.cases]
     for g in guards:
-        if not is_sat(g):
+        if not ctx.is_sat(g):
             failures.append(f"{spec.method}: infeasible guard {g!r}")
     for g1, g2 in itertools.combinations(guards, 2):
-        if is_sat(conj(g1, g2)):
+        if ctx.is_sat(conj(g1, g2)):
             failures.append(
                 f"{spec.method}: overlapping guards {g1!r} and {g2!r}"
             )
 
 
-def _term_edges(result: InferenceResult, method: str):
+def _term_edges(
+    result: InferenceResult,
+    method: str,
+    ctx: Optional[SolverContext] = None,
+):
     """Recursion edges of *method* by re-running the assumption
     generator against the final summaries."""
     from repro.core.predicates import PreRef
@@ -58,7 +65,7 @@ def _term_edges(result: InferenceResult, method: str):
         return []
     pair = f"RV@{method}"
     solved = {k: v for k, v in result.specs.items() if k != method}
-    verifier = Verifier(program, pairs={method: pair}, solved=solved)
+    verifier = Verifier(program, pairs={method: pair}, solved=solved, ctx=ctx)
     try:
         ma = verifier.collect(m)
     except VerifierError:
@@ -76,11 +83,13 @@ def _check_term_case(
     case,
     edges,
     failures: List[str],
+    ctx: Optional[SolverContext] = None,
 ) -> None:
+    ctx = resolve(ctx)
     measure = case.pred.measure
     if not measure:
         return  # base-case Term: no decrease obligation
-    for ctx, src_args, dst_args in edges:
+    for edge_ctx, src_args, dst_args in edges:
         src_map = dict(zip(spec.params, src_args))
         dst_map = dict(zip(spec.params, dst_args))
         guard_src = case.guard.rename(src_map)
@@ -89,8 +98,8 @@ def _check_term_case(
         # case's own predicate)
         for other in spec.cases:
             guard_dst = other.guard.rename(dst_map)
-            step = conj(ctx, guard_src, guard_dst)
-            if not is_sat(step):
+            step = conj(edge_ctx, guard_src, guard_dst)
+            if not ctx.is_sat(step):
                 continue
             if isinstance(other.pred, Loop) or not other.post.reachable:
                 continue  # lands in a Loop region: exit unreachable there
@@ -104,16 +113,20 @@ def _check_term_case(
             if not om:
                 continue  # lands in a base case: terminates immediately
             # lexicographic decrease of `measure` vs the target's measure
-            if not _lex_decreases(step, measure, om, src_map, dst_map):
+            if not _lex_decreases(step, measure, om, src_map, dst_map, ctx):
                 failures.append(
                     f"{spec.method}: measure {list(map(str, measure))} not "
                     f"lex-decreasing on an edge under {case.guard!r}"
                 )
 
 
-def _lex_decreases(step: Formula, m_src, m_dst, src_map, dst_map) -> bool:
+def _lex_decreases(
+    step: Formula, m_src, m_dst, src_map, dst_map,
+    ctx: Optional[SolverContext] = None,
+) -> bool:
     from repro.arith.formula import atom_eq
 
+    ctx = resolve(ctx)
     prefix: List[Formula] = []
     for i in range(min(len(m_src), len(m_dst))):
         r_src = m_src[i].rename(src_map)
@@ -121,9 +134,9 @@ def _lex_decreases(step: Formula, m_src, m_dst, src_map, dst_map) -> bool:
         strict = conj(
             *prefix, atom_ge(r_src, 0), atom_ge(r_src - r_dst, 1)
         )
-        if entails(step, strict):
+        if ctx.entails(step, strict):
             return True
-        if not entails(step, atom_ge(r_src - r_dst, 0)):
+        if not ctx.entails(step, atom_ge(r_src - r_dst, 0)):
             return False
         prefix.append(atom_eq(r_src - r_dst, 0))
     return False
@@ -135,6 +148,7 @@ def _check_loop_case(
     case,
     edges,
     failures: List[str],
+    ctx: Optional[SolverContext] = None,
 ) -> None:
     """A Loop case must be closed: every feasible step from inside it must
     land in a region with unreachable exit (Loop/false), and no exit path
@@ -142,18 +156,21 @@ def _check_loop_case(
     from repro.core.predicates import PostRef
     from repro.core.verifier import Verifier, VerifierError
 
+    ctx = resolve(ctx)
     program = result.program
     m = program.methods[spec.method]
     pair = f"RV@{spec.method}"
     solved = {k: v for k, v in result.specs.items() if k != spec.method}
-    verifier = Verifier(program, pairs={spec.method: pair}, solved=solved)
+    verifier = Verifier(
+        program, pairs={spec.method: pair}, solved=solved, ctx=ctx
+    )
     try:
         ma = verifier.collect(m)
     except VerifierError:
         return
     for t in ma.post_assumptions:
-        ctx = conj(t.ctx, case.guard)
-        if not is_sat(ctx):
+        exit_ctx = conj(t.ctx, case.guard)
+        if not ctx.is_sat(exit_ctx):
             continue
         # this exit path starts inside the Loop region: some left entry
         # must be definitely false on it
@@ -170,7 +187,7 @@ def _check_loop_case(
                         covers = disj(covers, conj(g, inst))
             elif not p.reachable:
                 covers = disj(covers, g)
-        if not entails(ctx, covers):
+        if not ctx.entails(exit_ctx, covers):
             failures.append(
                 f"{spec.method}: Loop case {case.guard!r} has a feasible "
                 "exit path not covered by a diverging callee"
@@ -187,18 +204,24 @@ def check_resource_side(spec: CaseSpec, failures: List[str]) -> None:
                 failures.append("finite capacity paid for Loop (impossible)")
 
 
-def reverify(result: InferenceResult) -> List[str]:
-    """Re-check every method summary; returns failure descriptions."""
+def reverify(
+    result: InferenceResult, ctx: Optional[SolverContext] = None
+) -> List[str]:
+    """Re-check every method summary; returns failure descriptions.
+
+    One solver context is shared across every per-method check (callers
+    may pass the context used for inference to reuse its caches)."""
+    ctx = resolve(ctx)
     failures: List[str] = []
     for method, spec in result.specs.items():
-        _check_definition2(spec, failures)
+        _check_definition2(spec, failures, ctx=ctx)
         check_resource_side(spec, failures)
-        edges = _term_edges(result, method)
+        edges = _term_edges(result, method, ctx=ctx)
         if edges is None:
             continue
         for case in spec.cases:
             if isinstance(case.pred, Term):
-                _check_term_case(result, spec, case, edges, failures)
+                _check_term_case(result, spec, case, edges, failures, ctx=ctx)
             elif isinstance(case.pred, Loop):
-                _check_loop_case(result, spec, case, edges, failures)
+                _check_loop_case(result, spec, case, edges, failures, ctx=ctx)
     return failures

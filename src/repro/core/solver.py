@@ -18,8 +18,10 @@ methods ([TNT-INF]) and resolves their unknown pairs:
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.arith.context import SolverContext, resolve
 from repro.arith.formula import Formula
 from repro.core.assumptions import PostAssume, PreAssume
 from repro.core.basecase import refine_base, syn_base
@@ -49,6 +51,8 @@ from repro.core.verifier import MethodAssumptions
 
 MAX_ITER = 8
 
+logger = logging.getLogger(__name__)
+
 
 class TNTSolver:
     """Stateful driver of the paper's ``solve`` procedure.
@@ -56,6 +60,10 @@ class TNTSolver:
     *time_budget* (seconds) bounds one group's resolution; on expiry the
     remaining unknowns finalize to ``MayLoop`` -- the same graceful
     degradation the paper obtains through ``MAX_ITER``.
+
+    *ctx* is the :class:`~repro.arith.context.SolverContext` shared by the
+    whole group resolution, so every iteration of the specialise /
+    analyse / split loop reuses one incremental cache state.
     """
 
     def __init__(
@@ -63,10 +71,12 @@ class TNTSolver:
         store: DefStore,
         max_iter: int = MAX_ITER,
         time_budget: Optional[float] = 60.0,
+        ctx: Optional[SolverContext] = None,
     ):
         self.store = store
         self.max_iter = max_iter
         self.time_budget = time_budget
+        self.ctx = resolve(ctx)
         self._deadline: Optional[float] = None
 
     def _expired(self) -> bool:
@@ -83,16 +93,16 @@ class TNTSolver:
         if self.time_budget is not None:
             self._deadline = time.monotonic() + self.time_budget
         for ma in group:
-            beta = syn_base(ma)
-            refine_base(self.store, ma.pair, beta)
+            beta = syn_base(ma, ctx=self.ctx)
+            refine_base(self.store, ma.pair, beta, ctx=self.ctx)
         all_pre = [a for ma in group for a in ma.pre_assumptions]
         all_post = [a for ma in group for a in ma.post_assumptions]
         roots = [ma.pair for ma in group]
         for _iteration in range(self.max_iter):
             if self._expired():
                 break
-            pre = specialize_pre(all_pre, self.store)
-            post = specialize_post(all_post, self.store)
+            pre = specialize_pre(all_pre, self.store, ctx=self.ctx)
+            post = specialize_post(all_post, self.store, ctx=self.ctx)
             graph = ReachGraph(pre)
             leaves: List[str] = []
             for root in roots:
@@ -124,7 +134,7 @@ class TNTSolver:
                 ok = self._tnt_analysis(graph, scc, post, all_post)
                 if ok:
                     # keep T in sync with the enriched store (Fig. 6 l.13)
-                    post = specialize_post(all_post, self.store)
+                    post = specialize_post(all_post, self.store, ctx=self.ctx)
                 else:
                     # a case split happened: resolve what else we can in
                     # this sweep, then restart with the refined store
@@ -171,7 +181,7 @@ class TNTSolver:
         blocks any exit, and a case split / MayLoop otherwise."""
         from repro.core.nonterm import prove_nonterm
 
-        ok, conditions = prove_nonterm(scc, post, self.store)
+        ok, conditions = prove_nonterm(scc, post, self.store, ctx=self.ctx)
         if ok:
             for u in scc:
                 self.store.resolve_leaf(u, LOOP, POST_FALSE)
@@ -188,7 +198,7 @@ class TNTSolver:
         split_done = False
         for u in scc:
             conds = conditions.get(u, [])
-            if conds and subst_unk(self.store, u, conds):
+            if conds and subst_unk(self.store, u, conds, ctx=self.ctx):
                 split_done = True
         if split_done:
             return False
@@ -224,7 +234,7 @@ class TNTSolver:
                 self.store.resolve_leaf(u, MAYLOOP, POST_TRUE)
             return True
         edges = graph.internal_edges(scc)
-        synth = RankSynthesizer(self.store.pair_args)
+        synth = RankSynthesizer(self.store.pair_args, ctx=self.ctx)
         linear = synth.synthesize_linear(scc, edges)
         if linear is not None:
             for u in scc:
@@ -246,7 +256,7 @@ class TNTSolver:
             for u in scc:
                 self.store.resolve_leaf(u, MAYLOOP, POST_TRUE)
             return True
-        ok, conditions = prove_nonterm(scc, post, self.store)
+        ok, conditions = prove_nonterm(scc, post, self.store, ctx=self.ctx)
         if ok:
             for u in scc:
                 self.store.resolve_leaf(u, LOOP, POST_FALSE)
@@ -254,7 +264,7 @@ class TNTSolver:
         split_done = False
         for u in scc:
             conds = conditions.get(u, [])
-            if conds and subst_unk(self.store, u, conds):
+            if conds and subst_unk(self.store, u, conds, ctx=self.ctx):
                 split_done = True
         if split_done:
             return False  # restart the core loop with the refined store

@@ -10,10 +10,10 @@ to known-``Term``...) are dropped, mirroring the paper's ``filter``.
 
 from __future__ import annotations
 
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
+from repro.arith.context import SolverContext, resolve
 from repro.arith.formula import Formula, TRUE, conj
-from repro.arith.solver import is_sat
 from repro.arith.terms import var
 from repro.core.assumptions import PostAssume, PostEntry, PreAssume
 from repro.core.predicates import (
@@ -38,9 +38,12 @@ def _instantiate_guard(guard: Formula, formals: Tuple[str, ...], actuals: Tuple[
 
 
 def specialize_pre(
-    assumptions: List[PreAssume], store: DefStore
+    assumptions: List[PreAssume],
+    store: DefStore,
+    ctx: Optional[SolverContext] = None,
 ) -> List[PreAssume]:
     """Specialise pre-assumptions; keep only informative ones."""
+    ctx = resolve(ctx)
     out: List[PreAssume] = []
     for a in assumptions:
         lhs_cases: List[Tuple[Formula, Union[TempPred, str]]]
@@ -71,8 +74,8 @@ def specialize_pre(
             else:
                 lhs_pred = pl
             for gr, pr in rhs_cases:
-                ctx = conj(a.ctx, gl, gr)
-                if not is_sat(ctx):
+                spec_ctx = conj(a.ctx, gl, gr)
+                if not ctx.is_sat(spec_ctx):
                     continue
                 rhs_pred: Union[TempPred, PreRef]
                 if isinstance(pr, str):
@@ -87,14 +90,17 @@ def specialize_pre(
                     rhs_pred = MAYLOOP
                 else:
                     rhs_pred = pr
-                out.append(PreAssume(ctx=ctx, lhs=lhs_pred, rhs=rhs_pred))
+                out.append(PreAssume(ctx=spec_ctx, lhs=lhs_pred, rhs=rhs_pred))
     return out
 
 
 def specialize_post(
-    assumptions: List[PostAssume], store: DefStore
+    assumptions: List[PostAssume],
+    store: DefStore,
+    ctx: Optional[SolverContext] = None,
 ) -> List[PostAssume]:
     """Specialise post-assumptions; keep only those with an unknown RHS."""
+    ctx = resolve(ctx)
     out: List[PostAssume] = []
     for a in assumptions:
         new_entries: List[PostEntry] = []
@@ -108,7 +114,7 @@ def specialize_post(
             formals = store.pair_args[p.name]
             for cg, _pre, post in store.leaf_cases(p.name):
                 guard = conj(g, _instantiate_guard(cg, formals, p.args))
-                if not is_sat(conj(a.ctx, guard)):
+                if not ctx.is_sat(conj(a.ctx, guard)):
                     continue
                 if isinstance(post, str):
                     new_entries.append((guard, PostRef(post, p.args)))
@@ -121,7 +127,7 @@ def specialize_post(
         rhs_formals = store.pair_args[a.rhs.name]
         for cg, _pre, post in store.leaf_cases(a.rhs.name):
             guard = conj(a.guard, _instantiate_guard(cg, rhs_formals, a.rhs.args))
-            if not is_sat(conj(a.ctx, guard)):
+            if not ctx.is_sat(conj(a.ctx, guard)):
                 continue
             if isinstance(post, str):
                 out.append(

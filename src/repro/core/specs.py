@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.arith.formula import Formula, TRUE, conj
-from repro.arith.solver import entails, is_sat, simplify
+from repro.arith.context import SolverContext, resolve
 from repro.core.predicates import (
     MAYLOOP,
     POST_TRUE,
@@ -153,25 +153,31 @@ class DefStore:
 
     # -- flattening -----------------------------------------------------------
 
-    def flatten(self, name: str, context: Formula = TRUE) -> List[SpecCase]:
+    def flatten(
+        self,
+        name: str,
+        context: Formula = TRUE,
+        ctx: Optional[SolverContext] = None,
+    ) -> List[SpecCase]:
         """All resolved leaves under *name* with their accumulated guards.
 
         Unresolved leaves flatten to ``MayLoop`` / reachable -- matching the
         paper's ``finalize`` treatment.
         """
+        ctx = resolve(ctx)
         d = self.defs.get(name)
         if d is None:
-            return [SpecCase(simplify(context), MAYLOOP, POST_TRUE)]
+            return [SpecCase(ctx.simplify(context), MAYLOOP, POST_TRUE)]
         out: List[SpecCase] = []
         for c in d.cases:
             guard = conj(context, c.guard)
-            if not is_sat(guard):
+            if not ctx.is_sat(guard):
                 continue
             if isinstance(c.pre, str):
-                out.extend(self.flatten(c.pre, guard))
+                out.extend(self.flatten(c.pre, guard, ctx=ctx))
             else:
                 post = c.post if isinstance(c.post, PostVal) else POST_TRUE
-                out.append(SpecCase(simplify(guard), c.pre, post))
+                out.append(SpecCase(ctx.simplify(guard), c.pre, post))
         return out
 
     def case_spec(
@@ -180,11 +186,13 @@ class DefStore:
         method: str,
         params: Tuple[str, ...],
         context: Formula = TRUE,
+        ctx: Optional[SolverContext] = None,
     ) -> CaseSpec:
         """Final summary; *context* (usually the method's ``requires``)
         restricts the reported cases to inputs the contract admits."""
         return CaseSpec(
-            method=method, params=params, cases=self.flatten(name, context)
+            method=method, params=params,
+            cases=self.flatten(name, context, ctx=ctx),
         )
 
     # -- lookups used by specialisation ---------------------------------------

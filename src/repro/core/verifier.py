@@ -28,8 +28,8 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.arith.context import SolverContext, resolve
 from repro.arith.formula import Formula, TRUE, atom_eq, conj, neg
-from repro.arith.solver import is_sat, project
 from repro.arith.terms import LinExpr, var
 from repro.core.assumptions import PostAssume, PostEntry, PreAssume
 from repro.core.predicates import (
@@ -105,12 +105,15 @@ class Verifier:
         program: Program,
         pairs: Dict[str, str],
         solved: Dict[str, CaseSpec],
+        ctx: Optional[SolverContext] = None,
     ):
         """*pairs* maps unresolved method names to their unknown pair names;
-        *solved* maps resolved method names to their summaries."""
+        *solved* maps resolved method names to their summaries; *ctx* is the
+        solver context shared by the whole group analysis."""
         self.program = program
         self.pairs = pairs
         self.solved = solved
+        self.ctx = resolve(ctx)
         self._fresh_counter = itertools.count()
 
     def fresh(self, base: str = "v") -> str:
@@ -175,12 +178,12 @@ class Verifier:
             cond = self._formula(s.cond, state)
             out_states: List[Optional[SymState]] = []
             then_ctx = conj(state.ctx, cond)
-            if is_sat(then_ctx):
+            if self.ctx.is_sat(then_ctx):
                 out_states.extend(
                     self._exec(s.then, replace(state, ctx=then_ctx), out, method)
                 )
             else_ctx = conj(state.ctx, neg(cond))
-            if is_sat(else_ctx):
+            if self.ctx.is_sat(else_ctx):
                 out_states.extend(
                     self._exec(s.els, replace(state, ctx=else_ctx), out, method)
                 )
@@ -193,7 +196,7 @@ class Verifier:
         if isinstance(s, Assume):
             cond = self._formula(s.cond, state)
             new_ctx = conj(state.ctx, cond)
-            if not is_sat(new_ctx):
+            if not self.ctx.is_sat(new_ctx):
                 return [None]
             return [replace(state, ctx=new_ctx)]
         if isinstance(s, Havoc):
@@ -272,7 +275,7 @@ class Verifier:
             keep = set(out.params) | set(arg_vars)
             out.pre_assumptions.append(
                 PreAssume(
-                    ctx=_safe_project(state.ctx, keep),
+                    ctx=_safe_project(state.ctx, keep, self.ctx),
                     lhs=caller_ref,
                     rhs=callee_ref,
                 )
@@ -284,13 +287,13 @@ class Verifier:
             inst = dict(zip(spec.params, [var(v) for v in arg_vars]))
             for case in spec.cases:
                 guard = case.guard.substitute(inst)
-                if not is_sat(conj(state.ctx, guard)):
+                if not self.ctx.is_sat(conj(state.ctx, guard)):
                     continue
                 if isinstance(case.pred, MayLoop):
                     keep = set(out.params) | set(arg_vars)
                     out.pre_assumptions.append(
                         PreAssume(
-                            ctx=_safe_project(conj(state.ctx, guard), keep),
+                            ctx=_safe_project(conj(state.ctx, guard), keep, self.ctx),
                             lhs=caller_ref,
                             rhs=MAYLOOP,
                         )
@@ -327,8 +330,8 @@ class Verifier:
             keep |= guard.free_vars()
             if isinstance(entry, PostRef):
                 keep |= set(entry.args)
-        ctx = _safe_project(state.ctx, keep)
-        if not is_sat(ctx):
+        ctx = _safe_project(state.ctx, keep, self.ctx)
+        if not self.ctx.is_sat(ctx):
             return
         out.post_assumptions.append(
             PostAssume(
@@ -339,10 +342,10 @@ class Verifier:
             )
         )
 
-def _safe_project(ctx, keep):
+def _safe_project(ctx, keep, solver_ctx=None):
     """Projection with a blow-up fallback: keep the unprojected context
     (it mentions more variables but is equivalent, hence still sound)."""
     try:
-        return project(ctx, keep=set(keep))
+        return resolve(solver_ctx).project(ctx, keep=set(keep))
     except MemoryError:
         return ctx

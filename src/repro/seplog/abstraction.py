@@ -29,7 +29,7 @@ from repro.arith.formula import (
     TRUE,
     conj,
 )
-from repro.arith.solver import is_sat, project, simplify
+from repro.arith.context import SolverContext, resolve
 from repro.arith.terms import LinExpr, var
 from repro.lang import ast
 from repro.lang.ast import (
@@ -152,8 +152,9 @@ class _State:
 
 
 class _Abstractor:
-    def __init__(self, program: Program):
+    def __init__(self, program: Program, ctx: Optional[SolverContext] = None):
         self.program = program
+        self.ctx = resolve(ctx)
         self._fresh = itertools.count()
 
     def fresh_int(self, base: str = "sz") -> str:
@@ -210,8 +211,8 @@ class _Abstractor:
             p for p in method.params if not isinstance(p.type, ast.NamedType)
         ]
         params = [Param(ast.INT, s) for s in spec.size_params] + int_params
-        requires = simplify(
-            project(spec.pre.pure, keep=set(spec.size_params)
+        requires = self.ctx.simplify(
+            self.ctx.project(spec.pre.pure, keep=set(spec.size_params)
                     | {p.name for p in int_params})
         )
         return Method(
@@ -229,7 +230,7 @@ class _Abstractor:
             return Assume(ast.BoolLit(False))
         branches: List[Tuple[Formula, Stmt]] = []
         for st in finished:
-            guard = simplify(st.path)
+            guard = self.ctx.simplify(st.path)
             body = seq(*st.ops, Return(None))
             branches.append((guard, body))
         out: Stmt = Assume(ast.BoolLit(False))
@@ -347,7 +348,7 @@ class _Abstractor:
         inst = state.heap.find_pred(loc, state.aliases)
         if inst is None:
             raise AbstractionError(f"no heap chunk at {loc}")
-        cases = unfold(state.heap, inst, state.aliases)
+        cases = unfold(state.heap, inst, state.aliases, ctx=self.ctx)
         # choose the case that materialises a cell at loc
         for heap, aliases in cases:
             cell = heap.find_points_to(loc, aliases)
@@ -388,13 +389,13 @@ class _Abstractor:
             out: List[Optional[_State]] = []
             then_state = state.clone()
             then_state.path = conj(then_state.path, f)
-            if is_sat(conj(then_state.path, then_state.heap.pure)):
+            if self.ctx.is_sat(conj(then_state.path, then_state.heap.pure)):
                 out.extend(self._exec(s.then, then_state, finished, method))
             else_state = state.clone()
             from repro.arith.formula import neg
 
             else_state.path = conj(else_state.path, neg(f))
-            if is_sat(conj(else_state.path, else_state.heap.pure)):
+            if self.ctx.is_sat(conj(else_state.path, else_state.heap.pure)):
                 out.extend(self._exec(s.els, else_state, finished, method))
             return out
         lhs, rhs, negated = ptr_test
@@ -442,7 +443,7 @@ class _Abstractor:
             if inst is None:
                 continue
             results: List[Tuple[_State, bool]] = []
-            for heap, aliases in unfold(st.heap, inst, st.aliases):
+            for heap, aliases in unfold(st.heap, inst, st.aliases, ctx=self.ctx):
                 case = st.clone()
                 case.heap = heap
                 case.aliases = aliases
@@ -530,7 +531,9 @@ class _Abstractor:
                 formal_to_actual.get(x, x) for x in chunk.ptr_args
             )
             size_name = self._single_var(chunk.size)
-            result = match_instance(heap, chunk.pred, ptr_args, state.aliases)
+            result = match_instance(
+                heap, chunk.pred, ptr_args, state.aliases, ctx=self.ctx
+            )
             if result is None:
                 return None
             heap = result.frame
@@ -541,7 +544,7 @@ class _Abstractor:
             return None
         # precondition's pure part must hold
         pure_inst = spec.pre.pure.substitute(size_values)
-        if not is_sat(conj(state.path, state.heap.pure, pure_inst)):
+        if not self.ctx.is_sat(conj(state.path, state.heap.pure, pure_inst)):
             return None
         return heap, size_args
 
@@ -644,15 +647,21 @@ def has_heap_statements(method: Method) -> bool:
     return found
 
 
-def abstract_program(program: Program) -> Program:
+def abstract_program(
+    program: Program, ctx: Optional[SolverContext] = None
+) -> Program:
     """Replace heap methods (those carrying heap specs) by their numeric
-    abstractions; pure methods pass through unchanged."""
+    abstractions; pure methods pass through unchanged.
+
+    *ctx* is the solver context used for every arithmetic side condition
+    of the abstraction (path feasibility, spec projection, entailment
+    matching)."""
     heap_methods = {
         name: m for name, m in program.methods.items() if m.heap_specs
     }
     if not heap_methods:
         return program
-    abstractor = _Abstractor(program)
+    abstractor = _Abstractor(program, ctx=ctx)
     methods: Dict[str, Method] = {}
     for name, m in program.methods.items():
         if name in heap_methods:

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.arith.context import SolverContext
 from repro.arith.terms import LinExpr, const
 from repro.seplog.heap import NULL, PointsTo, PredInst, SymHeap
 
@@ -51,14 +52,23 @@ def match_instance(
     ptr_args: Tuple[str, ...],
     aliases: Dict[str, str],
     depth: int = MAX_DEPTH,
+    ctx: Optional[SolverContext] = None,
 ) -> Optional[MatchResult]:
-    """Establish ``heap |- pred(ptr_args; size) * frame``; compute size."""
+    """Establish ``heap |- pred(ptr_args; size) * frame``; compute size.
+
+    *ctx* is the solver context shared with the abstraction engine,
+    threaded through the recursive match so any arithmetic side condition
+    the matcher (or a future lemma) needs is answered from the same
+    incremental cache as the rest of the method's heap analysis.  Matching
+    itself is purely structural: passing or omitting *ctx* never changes
+    the result.
+    """
     if depth <= 0:
         return None
     if pred == "cll":
-        return _match_cll(heap, ptr_args[0], aliases, depth)
+        return _match_cll(heap, ptr_args[0], aliases, depth, ctx)
     if pred in ("ll", "lseg"):
-        return _match_segment(heap, pred, ptr_args, aliases, depth)
+        return _match_segment(heap, pred, ptr_args, aliases, depth, ctx)
     return None
 
 
@@ -75,6 +85,7 @@ def _match_segment(
     ptr_args: Tuple[str, ...],
     aliases: Dict[str, str],
     depth: int,
+    ctx: Optional[SolverContext] = None,
 ) -> Optional[MatchResult]:
     root = ptr_args[0]
     # empty instance
@@ -96,7 +107,7 @@ def _match_segment(
         if _canon(q, aliases) == _canon(ptr_args[1], aliases):
             return MatchResult(frame=rest, size=chunk.size)
         sub = _match_segment(
-            rest, pred, (q,) + ptr_args[1:], aliases, depth - 1
+            rest, pred, (q,) + ptr_args[1:], aliases, depth - 1, ctx
         )
         if sub is not None:
             return MatchResult(frame=sub.frame, size=chunk.size + sub.size)
@@ -110,7 +121,7 @@ def _match_segment(
             return None
         rest = heap.without(cell)
         sub = _match_segment(
-            rest, pred, (nxt,) + ptr_args[1:], aliases, depth - 1
+            rest, pred, (nxt,) + ptr_args[1:], aliases, depth - 1, ctx
         )
         if sub is not None:
             return MatchResult(frame=sub.frame, size=sub.size + 1)
@@ -118,7 +129,11 @@ def _match_segment(
 
 
 def _match_cll(
-    heap: SymHeap, root: str, aliases: Dict[str, str], depth: int
+    heap: SymHeap,
+    root: str,
+    aliases: Dict[str, str],
+    depth: int,
+    ctx: Optional[SolverContext] = None,
 ) -> Optional[MatchResult]:
     """``root |-> node(c) * lseg(c, root; m)  |-  cll(root; m+1)``.
 
@@ -139,7 +154,7 @@ def _match_cll(
             return None
         rest = heap.without(cell)
         sub = _match_segment(
-            rest, "lseg", (nxt, canon_root), aliases, depth - 1
+            rest, "lseg", (nxt, canon_root), aliases, depth - 1, ctx
         )
         if sub is not None:
             return MatchResult(frame=sub.frame, size=sub.size + 1)
@@ -157,7 +172,7 @@ def _match_cll(
             continue
         rest = heap.without(chunk)
         sub = _match_segment(
-            rest, "lseg", (canon_root, chunk.loc), aliases, depth - 1
+            rest, "lseg", (canon_root, chunk.loc), aliases, depth - 1, ctx
         )
         if sub is not None:
             return MatchResult(frame=sub.frame, size=sub.size + 1)

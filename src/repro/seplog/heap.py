@@ -22,7 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arith.formula import Formula, TRUE, atom_eq, atom_ge, conj
-from repro.arith.solver import is_sat
+from repro.arith.context import SolverContext, resolve
 from repro.arith.terms import LinExpr, var
 
 NULL = "null"
@@ -98,8 +98,8 @@ class SymHeap:
         chunks.remove(chunk)
         return replace(self, chunks=tuple(chunks))
 
-    def consistent(self) -> bool:
-        return is_sat(self.pure)
+    def consistent(self, ctx: Optional[SolverContext] = None) -> bool:
+        return resolve(ctx).is_sat(self.pure)
 
     def find_points_to(self, loc: str, aliases: Dict[str, str]) -> Optional[PointsTo]:
         canon = aliases.get(loc, loc)
@@ -175,7 +175,10 @@ def fresh_ptr(base: str = "p") -> str:
 
 
 def unfold(
-    heap: SymHeap, inst: PredInst, aliases: Dict[str, str]
+    heap: SymHeap,
+    inst: PredInst,
+    aliases: Dict[str, str],
+    ctx: Optional[SolverContext] = None,
 ) -> List[Tuple[SymHeap, Dict[str, str]]]:
     """Unfold one predicate instance into its (consistent) case heaps.
 
@@ -193,14 +196,14 @@ def unfold(
         empty = base.assume(atom_eq(inst.size, 0))
         new_aliases = dict(aliases)
         new_aliases[root] = NULL
-        if empty.consistent():
+        if empty.consistent(ctx):
             out.append((empty, new_aliases))
     elif defn.empty_when == "root_eq_second":
         q = inst.ptr_args[1]
         empty = base.assume(atom_eq(inst.size, 0))
         new_aliases = dict(aliases)
         new_aliases[root] = aliases.get(q, q)
-        if empty.consistent():
+        if empty.consistent(ctx):
             out.append((empty, new_aliases))
     # non-empty case
     nxt = fresh_ptr("nx")
@@ -214,6 +217,6 @@ def unfold(
     else:  # ll
         tail = PredInst("ll", (nxt,), inst.size - 1)
         nonempty = base.star(cell).star(tail).assume(atom_ge(inst.size, 1))
-    if nonempty.consistent():
+    if nonempty.consistent(ctx):
         out.append((nonempty, dict(aliases)))
     return out

@@ -94,3 +94,102 @@ class TestRunner:
     def test_unsound_accounting(self):
         outs = [BenchOutcome("a", "t", Verdict.TERMINATING, 1.0, False)]
         assert tally(outs)["unsound"] == 1
+
+    def test_solver_stats_in_outcome_and_tally(self):
+        bench = by_name("plain-countdown")
+        out = run_tool(HipTNTPlus(bench.main), bench, timeout=30.0)
+        assert out.solver_stats is not None
+        assert out.solver_stats["queries"] > 0
+        agg = tally([out])["solver"]
+        assert agg["runs_reporting"] == 1
+        assert agg["queries"] == out.solver_stats["queries"]
+        assert 0.0 <= agg["hit_rate"] <= 1.0
+
+
+class TestTimeoutMachinery:
+    def test_nested_timeout_restores_outer_timer(self):
+        """An inner _with_timeout must not clobber an enclosing armed
+        ITIMER_REAL: the outer budget still fires after the inner scope."""
+        import signal
+        import time
+
+        from repro.bench.runner import AnalysisTimeout, _with_timeout
+
+        def inner_then_spin():
+            _with_timeout(lambda: time.sleep(0.05), 5.0)
+            delay, _interval = signal.getitimer(signal.ITIMER_REAL)
+            assert delay > 0, "outer timer was clobbered by the nested scope"
+            t0 = time.monotonic()
+            while time.monotonic() - t0 < 10.0:
+                pass
+            return "unreachable"
+
+        t0 = time.monotonic()
+        with pytest.raises(AnalysisTimeout):
+            _with_timeout(inner_then_spin, 0.4)
+        assert time.monotonic() - t0 < 5.0
+
+    def test_inner_budget_capped_by_outer(self):
+        """A nested scope with a larger budget still expires when the
+        enclosing budget does."""
+        import time
+
+        from repro.bench.runner import AnalysisTimeout, _with_timeout
+
+        def spin():
+            t0 = time.monotonic()
+            while time.monotonic() - t0 < 10.0:
+                pass
+
+        t0 = time.monotonic()
+        with pytest.raises(AnalysisTimeout):
+            _with_timeout(lambda: _with_timeout(spin, 60.0), 0.3)
+        assert time.monotonic() - t0 < 5.0
+
+    def test_off_main_thread_watchdog(self):
+        """Off the main thread, signal.signal is unavailable: the runner
+        falls back to a daemon-thread watchdog."""
+        import threading
+        import time
+
+        from repro.bench.runner import AnalysisTimeout, _with_timeout
+
+        results = {}
+
+        def worker():
+            try:
+                results["quick"] = _with_timeout(lambda: "done", 5.0)
+            except BaseException as exc:  # pragma: no cover - debug aid
+                results["quick"] = exc
+            try:
+                _with_timeout(lambda: time.sleep(10.0), 0.2)
+                results["slow"] = "no-timeout"
+            except AnalysisTimeout:
+                results["slow"] = "timeout"
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join(30.0)
+        assert results["quick"] == "done"
+        assert results["slow"] == "timeout"
+
+    def test_watchdog_relays_exceptions(self):
+        import threading
+
+        from repro.bench.runner import _with_timeout
+
+        results = {}
+
+        def worker():
+            def boom():
+                raise ValueError("inner failure")
+
+            try:
+                _with_timeout(boom, 5.0)
+            except ValueError as exc:
+                results["exc"] = str(exc)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join(30.0)
+        assert results["exc"] == "inner failure"

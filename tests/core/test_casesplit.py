@@ -100,6 +100,28 @@ class TestSubstUnk:
         taut = disj(atom_ge(x, 0), atom_le(x, 0))
         assert not subst_unk(store, "U0@f", [taut])
 
+    def test_dead_unsat_condition_skipped(self):
+        """An unsatisfiable abduced condition must not trigger a split:
+        installing it would burn a MAX_ITER slot on a no-op restart."""
+        store = self._store()
+        dead = conj(atom_ge(x, 1), atom_le(x, 0))
+        assert not is_sat(dead)
+        assert not subst_unk(store, "U0@f", [dead])
+        assert "U0@f" not in store.defs
+
+    def test_dead_condition_mixed_with_live_one(self):
+        """Dead conditions are dropped, live ones still split."""
+        store = self._store()
+        dead = conj(atom_ge(x, 1), atom_le(x, 0))
+        live = atom_ge(x, 0)
+        assert subst_unk(store, "U0@f", [dead, live])
+        guards = [c.guard for c in store.defs["U0@f"].cases]
+        # the split is exactly the live condition's partition
+        assert len(guards) == 2
+        for g in guards:
+            assert is_sat(g)
+        assert is_valid(disj(*guards))
+
 
 class TestExclusivePartition:
     def test_overlapping_dnf(self):
