@@ -38,6 +38,13 @@ def main() -> None:
         "only answer\nY/N/U for the whole input space, while the inference "
         "found the exact\nterminating and non-terminating regions."
     )
+    print(
+        "\nLarger programs: pass jobs=N (e.g. infer_source(src, jobs=2)) "
+        "to analyze\nindependent call-graph SCCs in parallel worker "
+        "processes, and run the\nbenchmark tables with "
+        "`python -m repro.bench fig10 --jobs 4` -- verdicts\nare identical "
+        "to a sequential run (see docs/parallel.md)."
+    )
 
 
 if __name__ == "__main__":

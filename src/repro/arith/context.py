@@ -90,6 +90,18 @@ class SolverStats:
         ):
             setattr(self, f, 0)
 
+    def merge_dict(self, snapshot: Dict[str, int]) -> None:
+        """Add a counter snapshot (an :meth:`as_dict` produced in another
+        process, shipped back over a pipe) into this stats object.  The
+        derived ``queries``/``hits``/``hit_rate`` entries of the snapshot
+        are ignored -- they are recomputed from the merged counters."""
+        for f in (
+            "sat_queries", "sat_hits", "entail_queries", "entail_hits",
+            "project_queries", "project_hits", "evictions",
+            "fm_eliminations",
+        ):
+            setattr(self, f, getattr(self, f) + int(snapshot.get(f, 0)))
+
     def as_dict(self) -> Dict[str, int]:
         return {
             "queries": self.queries,

@@ -40,7 +40,12 @@ def _check_const(atom: Atom) -> Optional[Atom]:
     """Fold a constant atom to None (true) or raise :class:`Unsat`."""
     if atom.expr.is_constant():
         value = atom.expr.constant
-        ok = value <= 0 if atom.rel is Rel.LE else value == 0
+        if atom.rel is Rel.LE:
+            ok = value <= 0
+        elif atom.rel is Rel.LT:
+            ok = value < 0
+        else:
+            ok = value == 0
         if not ok:
             raise Unsat()
         return None
@@ -72,7 +77,7 @@ def substitute_equalities(
     Raises :class:`Unsat` on contradiction.
     """
     eqs = [a for a in atoms if a.rel is Rel.EQ]
-    les = [a for a in atoms if a.rel is Rel.LE]
+    les = [a for a in atoms if a.rel is not Rel.EQ]  # LE and (strict) LT
     solved: List[Atom] = []
     while eqs:
         eq = eqs.pop()
@@ -97,7 +102,7 @@ def substitute_equalities(
         eqs = new_eqs
         new_les: List[Atom] = []
         for a in les:
-            r = _renorm(a.expr.substitute(mapping), Rel.LE)
+            r = _renorm(a.expr.substitute(mapping), a.rel)
             if r is not None:
                 new_les.append(r)
         les = new_les
@@ -144,9 +149,15 @@ def eliminate_var(atoms: Sequence[Atom], name: str) -> List[Atom]:
         cl = -lo.expr.coeff(name)  # positive
         for up in uppers:
             cu = up.expr.coeff(name)  # positive
-            # cl * up + cu * lo eliminates name
+            # cl * up + cu * lo eliminates name; the combination is strict
+            # exactly when either parent bound is strict
             combined = up.expr.scale(cl) + lo.expr.scale(cu)
-            r = _renorm(combined, Rel.LE)
+            rel = (
+                Rel.LT
+                if (lo.rel is Rel.LT or up.rel is Rel.LT)
+                else Rel.LE
+            )
+            r = _renorm(combined, rel)
             if r is not None:
                 out.append(r)
     return _dedup(out)
@@ -209,7 +220,7 @@ def project_cube(atoms: Sequence[Atom], keep: Optional[Set[str]] = None,
         else:
             les.append(a)
     eq_kept = [a for a in les if a.rel is Rel.EQ]
-    ineqs = [a for a in les if a.rel is Rel.LE]
+    ineqs = [a for a in les if a.rel is not Rel.EQ]
     for name in _elimination_order(ineqs, targets):
         ineqs = eliminate_var(ineqs, name)
     return _dedup(eq_kept + ineqs)
@@ -286,7 +297,7 @@ def cube_model(atoms: Sequence[Atom]) -> Optional[Dict[str, Fraction]]:
     except Unsat:
         return None
     eq_atoms = [a for a in cube if a.rel is Rel.EQ]
-    ineqs = [a for a in cube if a.rel is Rel.LE]
+    ineqs = [a for a in cube if a.rel is not Rel.EQ]
     free: Set[str] = set()
     for a in cube:
         free |= a.expr.variables()
@@ -304,17 +315,25 @@ def cube_model(atoms: Sequence[Atom]) -> Optional[Dict[str, Fraction]]:
         lowers, uppers, _ = _partition_by_var(constraints, name)
         lo_val: Optional[Fraction] = None
         up_val: Optional[Fraction] = None
+        lo_strict = False
+        up_strict = False
         for a in lowers:
             c = a.expr.coeff(name)
             rest = (a.expr - LinExpr({name: c})).evaluate(env)
-            bound = rest / (-c)  # v >= bound
-            lo_val = bound if lo_val is None else max(lo_val, bound)
+            bound = rest / (-c)  # v >= bound (v > bound when strict)
+            if lo_val is None or bound > lo_val:
+                lo_val, lo_strict = bound, a.rel is Rel.LT
+            elif bound == lo_val and a.rel is Rel.LT:
+                lo_strict = True
         for a in uppers:
             c = a.expr.coeff(name)
             rest = (a.expr - LinExpr({name: c})).evaluate(env)
-            bound = -rest / c  # v <= bound
-            up_val = bound if up_val is None else min(up_val, bound)
-        env[name] = _pick_value(lo_val, up_val)
+            bound = -rest / c  # v <= bound (v < bound when strict)
+            if up_val is None or bound < up_val:
+                up_val, up_strict = bound, a.rel is Rel.LT
+            elif bound == up_val and a.rel is Rel.LT:
+                up_strict = True
+        env[name] = _pick_value(lo_val, up_val, lo_strict, up_strict)
     # Recover the variables eliminated through equalities, in reverse
     # substitution order (later substitutions may mention earlier names).
     for name, expr in reversed(record):
@@ -327,18 +346,40 @@ def cube_model(atoms: Sequence[Atom]) -> Optional[Dict[str, Fraction]]:
     return env
 
 
-def _pick_value(lo: Optional[Fraction], up: Optional[Fraction]) -> Fraction:
+def _pick_value(
+    lo: Optional[Fraction],
+    up: Optional[Fraction],
+    lo_strict: bool = False,
+    up_strict: bool = False,
+) -> Fraction:
+    """A value inside the (possibly half-open) interval.
+
+    A strict bound with an integral value must never be returned as the
+    witness itself: ``ceil(lo)`` equals ``lo`` when ``lo`` is integral,
+    which violates ``lo < v`` (symmetrically ``floor(up)`` for ``v < up``).
+    FM has already established the interval is non-empty, so for two-sided
+    bounds the midpoint is always a sound fallback (interior even when both
+    endpoints are open).
+    """
     import math
 
     if lo is None and up is None:
         return Fraction(0)
     if lo is None:
         assert up is not None
-        return Fraction(math.floor(up))
+        c = math.floor(up)
+        if up_strict and Fraction(c) == up:
+            c -= 1
+        return Fraction(c)
     if up is None:
-        return Fraction(math.ceil(lo))
-    # prefer an integer point in [lo, up] when one exists
+        c = math.ceil(lo)
+        if lo_strict and Fraction(c) == lo:
+            c += 1
+        return Fraction(c)
+    # prefer an integer point inside the interval when one exists
     c = math.ceil(lo)
-    if Fraction(c) <= up:
+    if lo_strict and Fraction(c) == lo:
+        c += 1
+    if Fraction(c) < up or (not up_strict and Fraction(c) == up):
         return Fraction(c)
     return (lo + up) / 2

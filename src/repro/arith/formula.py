@@ -52,10 +52,18 @@ def _node_uid(p: "Formula") -> int:
 
 
 class Rel(enum.Enum):
-    """Relation of a normalised atom against zero."""
+    """Relation of a normalised atom against zero.
+
+    ``LT`` is the *rational*-strict relation ``e < 0``.  The language
+    pipeline never produces it (strict integer comparisons are tightened to
+    ``LE`` at construction, see :func:`atom_lt`); it exists for callers of
+    the Fourier-Motzkin witness layer (:func:`repro.arith.fm.cube_model`)
+    that need open bounds kept open, e.g. rational counterexample search.
+    """
 
     LE = "<="
     EQ = "=="
+    LT = "<"
 
 
 class Formula:
@@ -118,6 +126,9 @@ class BoolConst(Formula):
     def evaluate(self, env: Mapping[str, Coeff]) -> bool:
         return self.value
 
+    def __reduce__(self):
+        return (BoolConst, (self.value,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, BoolConst) and self.value == other.value
 
@@ -164,10 +175,23 @@ class Atom(Formula):
 
     def evaluate(self, env: Mapping[str, Coeff]) -> bool:
         value = self.expr.evaluate(env)
-        return value <= 0 if self.rel is Rel.LE else value == 0
+        if self.rel is Rel.LE:
+            return value <= 0
+        if self.rel is Rel.LT:
+            return value < 0
+        return value == 0
 
     def negated(self) -> Formula:
-        """Integer-exact negation of this atom."""
+        """Negation of this atom (integer-exact on the LE/EQ fragment)."""
+        if self.rel is Rel.LT:
+            # not(e < 0)  <=>  e >= 0  <=>  -e <= 0  (rational fragment).
+            # Built directly: routing through _atom_or_const would apply
+            # _norm_le's integer tightening, which is wrong over the
+            # rationals this relation exists for.
+            e = -self.expr
+            if e.is_constant():
+                return TRUE if e.constant <= 0 else FALSE
+            return Atom(e.normalized(), Rel.LE)
         if self.rel is Rel.LE:
             # not(e <= 0)  <=>  e >= 1  <=>  -e + 1 <= 0
             return _atom_or_const(-self.expr + 1, Rel.LE)
@@ -176,6 +200,10 @@ class Atom(Formula):
             _atom_or_const(self.expr + 1, Rel.LE),
             _atom_or_const(-self.expr + 1, Rel.LE),
         )
+
+    def __reduce__(self):
+        # Re-intern in the receiving process (see LinExpr.__reduce__).
+        return (Atom, (self.expr, self.rel))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -228,6 +256,9 @@ class NaryOp(Formula):
                 out |= a.free_vars()
             object.__setattr__(self, "_fv", out)
         return self._fv
+
+    def __reduce__(self):
+        return (type(self), (self.args,))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -302,6 +333,9 @@ class Not(Formula):
     def evaluate(self, env: Mapping[str, Coeff]) -> bool:
         return not self.arg.evaluate(env)
 
+    def __reduce__(self):
+        return (Not, (self.arg,))
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
@@ -364,6 +398,9 @@ class Exists(Formula):
     def evaluate(self, env: Mapping[str, Coeff]) -> bool:
         raise ValueError("cannot directly evaluate a quantified formula")
 
+    def __reduce__(self):
+        return (Exists, (self.bound, self.body))
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
@@ -381,6 +418,20 @@ class Exists(Formula):
 
 
 _FRESH_COUNTER = itertools.count()
+
+
+def reset_fresh_names() -> None:
+    """Restart the fresh-variable counter at zero.
+
+    Only safe when no formulas from earlier analyses are alive (the bench
+    runner's cold-start protocol: caches cleared, cyclic garbage
+    collected): fresh names must never collide with live ones.  Resetting
+    makes an analysis independent of how many fresh names the process
+    handed out before it, which is what keeps a run inside a long-lived
+    process identical to the same run in a freshly forked shard worker.
+    """
+    global _FRESH_COUNTER
+    _FRESH_COUNTER = itertools.count()
 
 
 def _fresh_name(base: str, context: Formula) -> str:
@@ -401,7 +452,15 @@ def _atom_or_const(expr: LinExpr, rel: Rel) -> Formula:
         value = expr.constant
         if rel is Rel.LE:
             return TRUE if value <= 0 else FALSE
+        if rel is Rel.LT:
+            return TRUE if value < 0 else FALSE
         return TRUE if value == 0 else FALSE
+    if rel is Rel.LT:
+        # Rational-strict atoms must not be integer-tightened, but a
+        # positive rescale preserves them exactly: normalize to coprime
+        # integer coefficients so elimination chains cannot blow up the
+        # fractions and structurally equal strict atoms intern together.
+        return Atom(expr.normalized(), rel)
     return Atom(expr.normalized() if rel is Rel.EQ else _norm_le(expr), rel)
 
 

@@ -173,6 +173,12 @@ class LinExpr:
 
     # -- dunder ---------------------------------------------------------------
 
+    def __reduce__(self):
+        # Interned instances cannot be pickled structurally (__slots__ plus
+        # an argument-taking __new__); route unpickling through the
+        # constructor so the receiving process re-interns the expression.
+        return (LinExpr, (self._coeffs, self._const))
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True

@@ -17,11 +17,17 @@ def main() -> None:
         "--timeout", type=float, default=60.0,
         help="per-run wall-clock budget in seconds (paper used 300)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the benchmark sweep (0 = one per CPU; "
+        "1 = sequential, in-process). Tables are deterministic and "
+        "identical for any jobs value.",
+    )
     args = parser.parse_args()
     if args.table == "fig10":
-        print(fig10_table(timeout=args.timeout))
+        print(fig10_table(timeout=args.timeout, jobs=args.jobs))
     else:
-        print(fig11_table(timeout=args.timeout))
+        print(fig11_table(timeout=args.timeout, jobs=args.jobs))
 
 
 if __name__ == "__main__":

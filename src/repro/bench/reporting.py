@@ -22,7 +22,7 @@ from repro.bench.programs import BenchProgram, CATEGORIES, all_programs
 from repro.bench.runner import (
     BenchOutcome,
     HipTNTPlus,
-    run_tool,
+    run_tools_sharded,
     tally,
     tally_solver_stats,
 )
@@ -50,29 +50,55 @@ class _HipWrapper:
             self.last_stats = tool.last_stats
 
 
+_FIG10_TOOLS = ("AProVE-like", "ULTIMATE-like", "HIPTNT+")
+
+
+def _make_tool(name: str, main: str):
+    """A fresh analyzer instance for one (tool, program) task.
+
+    Fresh per task (rather than shared across the sweep) so a task is
+    self-contained and picklable for sharded execution; the analyzers are
+    stateless per run, so sequential results are unchanged.
+    """
+    if name == "AProVE-like":
+        return AProVELikeAnalyzer()
+    if name == "ULTIMATE-like":
+        return UltimateLikeAnalyzer()
+    if name == "T2-like":
+        return T2LikeAnalyzer()
+    if name == "HIPTNT+":
+        return _HipWrapper().bind(main)
+    raise KeyError(name)
+
+
 def run_fig10(
     timeout: float = 60.0,
     categories: Sequence[str] = CATEGORIES,
     programs: Optional[List[BenchProgram]] = None,
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, List[BenchOutcome]]]:
-    """All Fig. 10 outcomes: tool -> category -> outcome list."""
-    tools = {
-        "AProVE-like": AProVELikeAnalyzer(),
-        "ULTIMATE-like": UltimateLikeAnalyzer(),
-        "HIPTNT+": _HipWrapper(),
-    }
+    """All Fig. 10 outcomes: tool -> category -> outcome list.
+
+    With ``jobs > 1`` the (tool, program) runs are farmed to worker
+    processes (:func:`repro.bench.runner.run_tools_sharded`); outcomes are
+    slotted back by task index, so the table is deterministic and
+    identical to a sequential run regardless of completion order.
+    """
     results: Dict[str, Dict[str, List[BenchOutcome]]] = {
-        name: {c: [] for c in categories} for name in tools
+        name: {c: [] for c in categories} for name in _FIG10_TOOLS
     }
     corpus = programs if programs is not None else all_programs()
+    pairs = []
+    keys: List[tuple] = []
     for bench in corpus:
         if bench.category not in categories:
             continue
-        for name, tool in tools.items():
-            if isinstance(tool, _HipWrapper):
-                tool.bind(bench.main)
-            outcome = run_tool(tool, bench, timeout=timeout)
-            results[name][bench.category].append(outcome)
+        for name in _FIG10_TOOLS:
+            pairs.append((_make_tool(name, bench.main), bench))
+            keys.append((name, bench.category))
+    outcomes = run_tools_sharded(pairs, timeout=timeout, jobs=jobs)
+    for (name, category), outcome in zip(keys, outcomes):
+        results[name][category].append(outcome)
     return results
 
 
@@ -80,10 +106,11 @@ def fig10_table(
     timeout: float = 60.0,
     categories: Sequence[str] = CATEGORIES,
     programs: Optional[List[BenchProgram]] = None,
+    jobs: int = 1,
 ) -> str:
     """The Fig. 10 table as formatted text."""
     results = run_fig10(timeout=timeout, categories=categories,
-                        programs=programs)
+                        programs=programs, jobs=jobs)
     header = f"{'Tool':<14}"
     for c in categories:
         header += f"| {c:^26} "
@@ -133,6 +160,7 @@ def _solver_summary(outcomes: List[BenchOutcome]) -> str:
 def run_fig11(
     timeout: float = 60.0,
     programs: Optional[List[BenchProgram]] = None,
+    jobs: int = 1,
 ) -> Dict[str, List[BenchOutcome]]:
     """Fig. 11 outcomes: loop-based integer programs, T2-like vs HIPTNT+."""
     corpus = programs if programs is not None else all_programs()
@@ -141,22 +169,26 @@ def run_fig11(
         for p in corpus
         if p.loop_based and p.category in ("crafted", "crafted-lit", "numeric")
     ]
-    t2 = T2LikeAnalyzer()
-    hip = _HipWrapper()
-    results: Dict[str, List[BenchOutcome]] = {"T2-like": [], "HIPTNT+": []}
+    pairs = []
+    keys: List[str] = []
     for bench in loop_programs:
-        results["T2-like"].append(run_tool(t2, bench, timeout=timeout))
-        hip.bind(bench.main)
-        results["HIPTNT+"].append(run_tool(hip, bench, timeout=timeout))
+        for name in ("T2-like", "HIPTNT+"):
+            pairs.append((_make_tool(name, bench.main), bench))
+            keys.append(name)
+    outcomes = run_tools_sharded(pairs, timeout=timeout, jobs=jobs)
+    results: Dict[str, List[BenchOutcome]] = {"T2-like": [], "HIPTNT+": []}
+    for name, outcome in zip(keys, outcomes):
+        results[name].append(outcome)
     return results
 
 
 def fig11_table(
     timeout: float = 60.0,
     programs: Optional[List[BenchProgram]] = None,
+    jobs: int = 1,
 ) -> str:
     """The Fig. 11 table as formatted text."""
-    results = run_fig11(timeout=timeout, programs=programs)
+    results = run_fig11(timeout=timeout, programs=programs, jobs=jobs)
     lines = [
         f"{'Tool':<12}{'Total':>6}{'Y':>5}{'N':>5}{'U':>5}{'T/O':>5}{'Time':>8}"
     ]

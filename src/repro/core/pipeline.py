@@ -88,12 +88,68 @@ def classify(spec: CaseSpec, ctx: Optional[SolverContext] = None) -> Verdict:
     return Verdict.TERMINATING
 
 
+def analyze_scc_group(
+    program: Program,
+    scc: List[str],
+    solved: Dict[str, CaseSpec],
+    store: DefStore,
+    max_iter: int,
+    time_budget: float,
+    ctx: SolverContext,
+) -> Dict[str, CaseSpec]:
+    """Resolve one call-graph SCC into per-method case summaries.
+
+    This is the [TNT-INF] body shared by the sequential driver below and
+    the parallel wave scheduler (:mod:`repro.core.scheduler`): it reads
+    the callee summaries it needs from *solved*, works inside *store* and
+    *ctx*, and returns the group's summaries in group-method order without
+    mutating *solved* -- the caller decides how results flow back (direct
+    dict update here; a pipe from a worker process in the scheduler).
+    """
+    group_methods = [
+        program.methods[name]
+        for name in scc
+        if program.methods[name].body is not None
+    ]
+    if not group_methods:
+        return {}
+    pairs = {
+        m.name: f"U0@{m.name}" for m in group_methods
+    }
+    for m in group_methods:
+        store.register_root(pairs[m.name], tuple(m.param_names))
+    verifier = Verifier(program, pairs=pairs, solved=solved, ctx=ctx)
+    group: List[MethodAssumptions] = []
+    mutual = set(pairs.values())
+    for m in group_methods:
+        ma = verifier.collect(m)
+        ma.pre_assumptions = filter_trivial(
+            ma.pre_assumptions, mutually_recursive=mutual, ctx=ctx
+        )
+        ma.post_assumptions = filter_post(ma.post_assumptions, ctx=ctx)
+        group.append(ma)
+    TNTSolver(
+        store, max_iter=max_iter, time_budget=time_budget, ctx=ctx
+    ).solve(group)
+    from repro.arith.formula import TRUE as _TRUE
+
+    specs: Dict[str, CaseSpec] = {}
+    for m in group_methods:
+        requires = m.requires if m.requires is not None else _TRUE
+        specs[m.name] = store.case_spec(
+            pairs[m.name], m.name, tuple(m.param_names),
+            context=requires, ctx=ctx,
+        )
+    return specs
+
+
 def infer_program(
     program: Program,
     max_iter: int = 8,
     desugared: bool = False,
     time_budget: float = 30.0,
     solver_ctx: Optional[SolverContext] = None,
+    jobs: int = 1,
 ) -> InferenceResult:
     """Infer termination/non-termination summaries for every method.
 
@@ -103,7 +159,24 @@ def infer_program(
     incremental cache, while the statistics aggregate program-wide.
     Passing *solver_ctx* instead shares a single caller-owned context
     across every group (and the heap abstraction).
+
+    With ``jobs > 1`` (and no caller-owned *solver_ctx*, which cannot be
+    shared across worker processes) independent SCCs are analyzed
+    concurrently by the wave scheduler in :mod:`repro.core.scheduler`;
+    ``jobs=0`` means one worker per CPU.  ``jobs=1`` is the exact
+    sequential path below.
     """
+    from repro.core.scheduler import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
+    if jobs > 1 and solver_ctx is None:
+        from repro.core.scheduler import infer_program_parallel
+
+        return infer_program_parallel(
+            program, jobs=jobs, max_iter=max_iter, desugared=desugared,
+            time_budget=time_budget,
+        )
+
     from repro.seplog.abstraction import abstract_program  # local: optional dep
 
     stats = solver_ctx.stats if solver_ctx is not None else SolverStats()
@@ -120,41 +193,13 @@ def infer_program(
     solved: Dict[str, CaseSpec] = {}
     contexts: Dict[str, SolverContext] = {}
     for scc in method_sccs(program):
-        group_methods = [
-            program.methods[name]
-            for name in scc
-            if program.methods[name].body is not None
-        ]
-        if not group_methods:
-            continue
-        pairs = {
-            m.name: f"U0@{m.name}" for m in group_methods
-        }
         ctx = group_ctx()
-        for m in group_methods:
-            store.register_root(pairs[m.name], tuple(m.param_names))
-        verifier = Verifier(program, pairs=pairs, solved=solved, ctx=ctx)
-        group: List[MethodAssumptions] = []
-        mutual = set(pairs.values())
-        for m in group_methods:
-            ma = verifier.collect(m)
-            ma.pre_assumptions = filter_trivial(
-                ma.pre_assumptions, mutually_recursive=mutual, ctx=ctx
-            )
-            ma.post_assumptions = filter_post(ma.post_assumptions, ctx=ctx)
-            group.append(ma)
-        TNTSolver(
-            store, max_iter=max_iter, time_budget=time_budget, ctx=ctx
-        ).solve(group)
-        for m in group_methods:
-            from repro.arith.formula import TRUE as _TRUE
-
-            requires = m.requires if m.requires is not None else _TRUE
-            solved[m.name] = store.case_spec(
-                pairs[m.name], m.name, tuple(m.param_names),
-                context=requires, ctx=ctx,
-            )
-            contexts[m.name] = ctx
+        specs = analyze_scc_group(
+            program, scc, solved, store, max_iter, time_budget, ctx
+        )
+        for name, spec in specs.items():
+            solved[name] = spec
+            contexts[name] = ctx
     return InferenceResult(
         program=program, specs=solved, store=store, solver_stats=stats,
         contexts=contexts,
@@ -162,9 +207,11 @@ def infer_program(
 
 
 def infer_source(
-    source: str, max_iter: int = 8, time_budget: float = 30.0
+    source: str, max_iter: int = 8, time_budget: float = 30.0,
+    jobs: int = 1,
 ) -> InferenceResult:
     """Parse, desugar and infer a program given as concrete syntax."""
     return infer_program(
-        parse_program(source), max_iter=max_iter, time_budget=time_budget
+        parse_program(source), max_iter=max_iter, time_budget=time_budget,
+        jobs=jobs,
     )

@@ -8,7 +8,7 @@ order.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List, Set, Tuple
 
 import networkx as nx
 
@@ -32,16 +32,45 @@ def call_graph(program: Program) -> "nx.DiGraph":
 def method_sccs(program: Program) -> List[List[str]]:
     """SCCs of the call graph, callees before callers.
 
-    Each SCC is sorted by name for determinism.
+    Each SCC is sorted by name for determinism.  The callee-first ordering
+    is a *load-bearing invariant*: the sequential pipeline consumes groups
+    in list order, and the parallel wave scheduler
+    (:mod:`repro.core.scheduler`) derives its dependency waves from the
+    same condensation via :func:`scc_dependencies`.
+    """
+    sccs, _deps = scc_dependencies(program)
+    return sccs
+
+
+def scc_dependencies(
+    program: Program,
+) -> Tuple[List[List[str]], List[Set[int]]]:
+    """The call-graph condensation as ``(sccs, deps)``.
+
+    ``sccs`` lists the strongly connected components callees-first (the
+    exact :func:`method_sccs` order, each SCC sorted by name);
+    ``deps[i]`` holds the indices of the SCCs that ``sccs[i]`` calls into
+    (its callee groups, excluding itself).  An SCC is ready to analyze
+    once every index in ``deps[i]`` has completed -- the wave structure of
+    the parallel scheduler.
     """
     g = call_graph(program)
     condensation = nx.condensation(g)
+    # Reverse topological over the condensation gives callees first.
+    # nx.topological_sort visits nodes in insertion order among ready
+    # nodes, and both the call graph and its condensation are built in
+    # deterministic order, so the result is stable across runs.
     order = list(nx.topological_sort(condensation))
     sccs: List[List[str]] = []
+    index_of: Dict[int, int] = {}
     for node in reversed(order):
-        members = sorted(condensation.nodes[node]["members"])
-        sccs.append(members)
-    return sccs
+        index_of[node] = len(sccs)
+        sccs.append(sorted(condensation.nodes[node]["members"]))
+    deps: List[Set[int]] = [set() for _ in sccs]
+    for node in condensation.nodes:
+        for callee in condensation.successors(node):  # edges caller -> callee
+            deps[index_of[node]].add(index_of[callee])
+    return sccs, deps
 
 
 def is_recursive_scc(program: Program, scc: List[str]) -> bool:

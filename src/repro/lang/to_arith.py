@@ -52,6 +52,13 @@ def default_fresh(prefix: str = "nd") -> str:
     return f"{prefix}_{next(_FRESH)}"
 
 
+def reset_fresh() -> None:
+    """Restart the nondet-name counter (bench cold-start protocol; see
+    :func:`repro.arith.formula.reset_fresh_names`)."""
+    global _FRESH
+    _FRESH = itertools.count()
+
+
 def expr_to_linexpr(
     e: Expr, fresh: Optional[Callable[[], str]] = None
 ) -> LinExpr:

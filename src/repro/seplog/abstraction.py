@@ -105,7 +105,12 @@ def _expr_of_formula(p: Formula) -> Expr:
         return ast.BoolLit(p.value)
     if isinstance(p, Atom):
         lhs = _expr_of_linexpr(p.expr)
-        op = "<=" if p.rel is Rel.LE else "=="
+        if p.rel is Rel.LE:
+            op = "<="
+        elif p.rel is Rel.LT:
+            op = "<"
+        else:
+            op = "=="
         return Binary(op, lhs, IntLit(0))
     if isinstance(p, And):
         out = _expr_of_formula(p.args[0])

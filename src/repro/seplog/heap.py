@@ -174,6 +174,13 @@ def fresh_ptr(base: str = "p") -> str:
     return f"{base}%{next(_FRESH_PTR)}"
 
 
+def reset_fresh_ptrs() -> None:
+    """Restart the fresh-pointer counter (bench cold-start protocol; see
+    :func:`repro.arith.formula.reset_fresh_names`)."""
+    global _FRESH_PTR
+    _FRESH_PTR = itertools.count()
+
+
 def unfold(
     heap: SymHeap,
     inst: PredInst,

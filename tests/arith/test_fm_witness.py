@@ -1,0 +1,139 @@
+"""Regression tests for strict-bound witness picking in the FM layer.
+
+Historically ``_pick_value`` only knew closed bounds: for a strict lower
+bound with an integral value, ``math.ceil(lo)`` returned ``lo`` itself --
+a "model" violating ``lo < x`` (symmetrically ``math.floor(up)`` for
+strict upper bounds).  ``Rel.LT`` atoms keep strict bounds strict through
+substitution and elimination, and the picker now steps off integral open
+endpoints.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arith import fm
+from repro.arith.fm import cube_is_sat, cube_model, _pick_value
+from repro.arith.formula import Atom, Rel
+from repro.arith.terms import LinExpr
+
+
+def _lt(coeffs, const):
+    """Atom ``expr < 0`` (rational-strict)."""
+    return Atom(LinExpr(coeffs, const), Rel.LT)
+
+
+def _le(coeffs, const):
+    return Atom(LinExpr(coeffs, const), Rel.LE)
+
+
+class TestStrictIntegralBounds:
+    def test_strict_lower_integral(self):
+        # 3 - x < 0  i.e.  x > 3: ceil(3) == 3 is NOT a witness
+        env = cube_model([_lt({"x": -1}, 3)])
+        assert env is not None
+        assert env["x"] > 3
+
+    def test_strict_upper_integral(self):
+        # x + 2 < 0  i.e.  x < -2: floor(-2) == -2 is NOT a witness
+        env = cube_model([_lt({"x": 1}, 2)])
+        assert env is not None
+        assert env["x"] < -2
+
+    def test_strict_bounds_both_sides(self):
+        # 1 < x < 2: no integer inside; the midpoint witness is interior
+        env = cube_model([_lt({"x": -1}, 1), _lt({"x": 1}, -2)])
+        assert env is not None
+        assert Fraction(1) < env["x"] < Fraction(2)
+
+    def test_strict_lower_closed_upper_single_point_gap(self):
+        # 0 < x <= 1 admits the integer 1
+        env = cube_model([_lt({"x": -1}, 0), _le({"x": 1}, -1)])
+        assert env is not None
+        assert Fraction(0) < env["x"] <= Fraction(1)
+
+    def test_open_empty_interval_unsat(self):
+        # 0 < x < 0 is contradictory; the strict combination 0 < 0 folds
+        assert cube_is_sat([_lt({"x": -1}, 0), _lt({"x": 1}, 0)]) is False
+        assert cube_model([_lt({"x": -1}, 0), _lt({"x": 1}, 0)]) is None
+
+    def test_closed_single_point_still_sat(self):
+        # 0 <= x <= 0 keeps its unique witness
+        env = cube_model([_le({"x": -1}, 0), _le({"x": 1}, 0)])
+        assert env is not None
+        assert env["x"] == 0
+
+    def test_strictness_survives_equality_substitution(self):
+        # y == x + 1  and  3 - y < 0: substituting leaves 4 - ... wait,
+        # 3 - (x + 1) < 0  i.e.  x > 2 -- strictness must survive, so an
+        # integral bound of 2 cannot be returned for x.
+        eq = Atom(LinExpr({"y": 1, "x": -1}, -1), Rel.EQ)  # y - x - 1 == 0
+        lt = _lt({"y": -1}, 3)  # 3 - y < 0
+        env = cube_model([eq, lt])
+        assert env is not None
+        assert env["y"] == env["x"] + 1
+        assert env["y"] > 3
+
+    def test_strictness_survives_elimination(self):
+        # x < y and y < x + 1: eliminating y gives the strict constant
+        # 0 < 1 (sat); witnesses must satisfy both strict atoms.
+        a = _lt({"x": 1, "y": -1}, 0)  # x - y < 0
+        b = _lt({"y": 1, "x": -1}, -1)  # y - x - 1 < 0
+        env = cube_model([a, b])
+        assert env is not None
+        assert env["x"] < env["y"] < env["x"] + 1
+
+    def test_model_evaluates_all_atoms(self):
+        atoms = [_lt({"x": -1}, 5), _le({"x": 1, "z": -1}, 0), _lt({"z": 1}, -9)]
+        env = cube_model(atoms)
+        assert env is not None
+        for a in atoms:
+            assert a.evaluate(env)
+
+
+class TestStrictAtomAlgebra:
+    def test_strict_negation_is_rational_exact(self):
+        # not(2x - 1 < 0) is x >= 1/2; integer tightening to x >= 1 would
+        # wrongly exclude the whole interval [1/2, 1)
+        a = Atom(LinExpr({"x": 2}, -1), Rel.LT)
+        neg_a = a.negated()
+        env = {"x": Fraction(1, 2)}
+        assert not a.evaluate(env)
+        assert neg_a.evaluate(env)
+
+    def test_strict_atoms_gcd_normalized(self):
+        # positive rescale preserves strictness; 2x < 0 and x < 0 intern
+        # to the same node
+        from repro.arith.formula import _atom_or_const
+
+        a = _atom_or_const(LinExpr({"x": 2}), Rel.LT)
+        b = _atom_or_const(LinExpr({"x": 1}), Rel.LT)
+        assert a is b
+
+    def test_strict_constant_folds(self):
+        from repro.arith.formula import _atom_or_const, FALSE, TRUE
+
+        assert _atom_or_const(LinExpr({}, -1), Rel.LT) is TRUE
+        assert _atom_or_const(LinExpr({}, 0), Rel.LT) is FALSE
+
+
+class TestPickValueUnit:
+    def test_closed_bounds_unchanged(self):
+        assert _pick_value(Fraction(3), None) == 3
+        assert _pick_value(None, Fraction(-2)) == -2
+        assert _pick_value(Fraction(1), Fraction(2)) == 1
+        assert _pick_value(None, None) == 0
+
+    def test_strict_integral_endpoints_stepped_off(self):
+        assert _pick_value(Fraction(3), None, lo_strict=True) > 3
+        assert _pick_value(None, Fraction(-2), up_strict=True) < -2
+        v = _pick_value(Fraction(1), Fraction(2), lo_strict=True, up_strict=True)
+        assert Fraction(1) < v < Fraction(2)
+
+    def test_strict_fractional_endpoints(self):
+        # ceil/floor already step off non-integral strict endpoints
+        assert _pick_value(Fraction(5, 2), None, lo_strict=True) == 3
+        assert _pick_value(None, Fraction(5, 2), up_strict=True) == 2
+
+    def test_strict_lower_closed_upper_prefers_integer(self):
+        assert _pick_value(Fraction(0), Fraction(1), lo_strict=True) == 1
