@@ -58,7 +58,14 @@ _ASSUMPTION_CUBE_LIMIT = 4096
 
 @dataclass
 class SolverStats:
-    """Counters for one context (or a family of contexts sharing them)."""
+    """Counters for one context (or a family of contexts sharing them).
+
+    Besides the solver-cache counters, this also carries the persistent
+    spec store's accounting (``store_hits`` / ``store_misses`` /
+    ``store_invalidations``, see :mod:`repro.store`): the pipeline counts
+    store lookups into the same stats object it aggregates solver work
+    in, so bench outcomes report both through one channel.
+    """
 
     sat_queries: int = 0
     sat_hits: int = 0
@@ -68,6 +75,9 @@ class SolverStats:
     project_hits: int = 0
     evictions: int = 0
     fm_eliminations: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_invalidations: int = 0
 
     @property
     def queries(self) -> int:
@@ -82,12 +92,14 @@ class SolverStats:
         q = self.queries
         return self.hits / q if q else 0.0
 
+    _COUNTER_FIELDS = (
+        "sat_queries", "sat_hits", "entail_queries", "entail_hits",
+        "project_queries", "project_hits", "evictions", "fm_eliminations",
+        "store_hits", "store_misses", "store_invalidations",
+    )
+
     def reset(self) -> None:
-        for f in (
-            "sat_queries", "sat_hits", "entail_queries", "entail_hits",
-            "project_queries", "project_hits", "evictions",
-            "fm_eliminations",
-        ):
+        for f in self._COUNTER_FIELDS:
             setattr(self, f, 0)
 
     def merge_dict(self, snapshot: Dict[str, int]) -> None:
@@ -95,26 +107,14 @@ class SolverStats:
         process, shipped back over a pipe) into this stats object.  The
         derived ``queries``/``hits``/``hit_rate`` entries of the snapshot
         are ignored -- they are recomputed from the merged counters."""
-        for f in (
-            "sat_queries", "sat_hits", "entail_queries", "entail_hits",
-            "project_queries", "project_hits", "evictions",
-            "fm_eliminations",
-        ):
+        for f in self._COUNTER_FIELDS:
             setattr(self, f, getattr(self, f) + int(snapshot.get(f, 0)))
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            "queries": self.queries,
-            "hits": self.hits,
-            "sat_queries": self.sat_queries,
-            "sat_hits": self.sat_hits,
-            "entail_queries": self.entail_queries,
-            "entail_hits": self.entail_hits,
-            "project_queries": self.project_queries,
-            "project_hits": self.project_hits,
-            "evictions": self.evictions,
-            "fm_eliminations": self.fm_eliminations,
-        }
+        out = {"queries": self.queries, "hits": self.hits}
+        for f in self._COUNTER_FIELDS:
+            out[f] = getattr(self, f)
+        return out
 
 
 class _Frame:

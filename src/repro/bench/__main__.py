@@ -1,4 +1,12 @@
-"""Command-line harness: ``python -m repro.bench {fig10,fig11}``."""
+"""Command-line harness: ``python -m repro.bench {fig10,fig11}``.
+
+With ``--store DIR`` the HIPTNT+ runs read and populate a persistent
+spec store (see ``docs/store.md``) and each table grows a ``HIPTNT+
+(warm)`` row measuring re-analysis against the populated store --
+cold-vs-warm in one table.  ``--cold`` wipes the store first, so the
+first sweep is guaranteed cold even when DIR already holds entries from
+an earlier invocation.
+"""
 
 from __future__ import annotations
 
@@ -23,11 +31,30 @@ def main() -> None:
         "1 = sequential, in-process). Tables are deterministic and "
         "identical for any jobs value.",
     )
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="persistent spec-store directory; adds a 'HIPTNT+ (warm)' "
+        "row re-running HIPTNT+ against the store the first sweep "
+        "populated (cold-vs-warm comparison)",
+    )
+    parser.add_argument(
+        "--cold", action="store_true",
+        help="wipe the --store directory before running, guaranteeing the "
+        "first HIPTNT+ sweep is cold",
+    )
     args = parser.parse_args()
+    if args.cold and not args.store:
+        parser.error("--cold requires --store DIR")
+    if args.cold:
+        from repro.store import SpecStore
+
+        SpecStore(args.store).wipe()
     if args.table == "fig10":
-        print(fig10_table(timeout=args.timeout, jobs=args.jobs))
+        print(fig10_table(timeout=args.timeout, jobs=args.jobs,
+                          store=args.store))
     else:
-        print(fig11_table(timeout=args.timeout, jobs=args.jobs))
+        print(fig11_table(timeout=args.timeout, jobs=args.jobs,
+                          store=args.store))
 
 
 if __name__ == "__main__":

@@ -61,18 +61,35 @@ class HipTNTPlus:
     :class:`~repro.arith.context.SolverStats`; ``run_tool`` copies it into
     the :class:`BenchOutcome` so tallies and tables can report solver
     cache behaviour alongside verdicts.
+
+    *store* (a directory path; kept as a path so the analyzer stays
+    picklable for sharded execution) enables the persistent spec store:
+    warm runs replay cached SCC summaries and report ``store_hits`` in
+    their stats instead of redoing inference -- see ``docs/store.md``.
+    The store deliberately survives the per-run cold-start protocol:
+    cold start erases *process* history (memo caches, fresh-name
+    counters), while the store carries *cross-run* results keyed so they
+    are independent of process history.
     """
 
     name = "HIPTNT+"
 
-    def __init__(self, main: str, time_budget: float = 15.0):
+    def __init__(
+        self,
+        main: str,
+        time_budget: float = 15.0,
+        store: Optional[str] = None,
+    ):
         self.main = main
         self.time_budget = time_budget
+        self.store = store
         self.last_stats: Optional[SolverStats] = None
 
     def analyze(self, program) -> Verdict:
         self.last_stats = None  # a timed-out run must not inherit old stats
-        result = infer_program(program, time_budget=self.time_budget)
+        result = infer_program(
+            program, time_budget=self.time_budget, store=self.store
+        )
         self.last_stats = result.solver_stats
         return result.verdict(self.main)
 
@@ -90,6 +107,12 @@ def _cold_start() -> None:
     makes a run inside a long-lived sequential sweep identical -- same
     verdict, same solver statistics -- to the same run in a freshly forked
     shard worker, which is what makes ``jobs=N`` tables reproducible.
+
+    The persistent spec store (:mod:`repro.store`) is deliberately *not*
+    touched here: it lives on disk, keyed by structural fingerprints that
+    are independent of process history (the counter resets above are in
+    fact what keeps fingerprints of generated names reproducible), so a
+    warm run replays exactly what a cold run would have computed.
     """
     import gc
 
@@ -223,11 +246,15 @@ def run_tool(
 ) -> BenchOutcome:
     """Run one analyzer on one benchmark program.
 
-    Every run starts from cold module-level caches (DNF memo, FM cube
-    memo): per-run solver statistics then depend only on the program
-    analyzed, never on which runs happened earlier in the same process --
-    which is what makes sharded (``jobs > 1``) tables identical to
-    sequential ones.
+    Every run starts from the cold-start protocol (:func:`_cold_start`:
+    module caches cleared, cyclic garbage collected, fresh-name counters
+    reset, automatic gc held for the run): per-run solver statistics then
+    depend only on the program analyzed, never on which runs happened
+    earlier in the same process -- which is what makes sharded
+    (``jobs > 1``) tables identical to sequential ones.  An analyzer
+    configured with a persistent spec store is the one sanctioned
+    exception: its on-disk entries survive cold start by design, so a
+    repeat run reports ``store_hits`` instead of redoing inference.
 
     With ``enforce_timeout=False`` the analyzer runs without the in-process
     signal/watchdog machinery; the sharded runner uses this in worker
@@ -531,8 +558,12 @@ def tally(outcomes: List[BenchOutcome]) -> Dict[str, object]:
 
 def tally_solver_stats(outcomes: List[BenchOutcome]) -> Dict[str, object]:
     """Sum the per-run solver counters of *outcomes* (queries, cache hits,
-    evictions, raw FM eliminations) and derive the overall hit rate."""
-    agg = {"queries": 0, "hits": 0, "evictions": 0, "fm_eliminations": 0}
+    evictions, raw FM eliminations, spec-store hits/misses/invalidations)
+    and derive the overall hit rate."""
+    agg = {
+        "queries": 0, "hits": 0, "evictions": 0, "fm_eliminations": 0,
+        "store_hits": 0, "store_misses": 0, "store_invalidations": 0,
+    }
     reported = 0
     for o in outcomes:
         if not o.solver_stats:

@@ -12,13 +12,20 @@ For each call-graph SCC (callees first -- rule [TNT-INF]):
 
 Programs containing heap statements are numerically abstracted by
 :mod:`repro.seplog` before the pure pipeline runs.
+
+Summaries are pure functions of (procedure body, callee summaries), so
+step 1-5 can be skipped entirely for an SCC whose structural fingerprint
+is already in a persistent spec store (``store=`` on
+:func:`infer_program`; :mod:`repro.store`, ``docs/store.md``) -- the
+cached :class:`CaseSpec` summaries feed callers exactly as freshly
+computed ones would.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple, Union
 
 from repro.arith.context import SolverContext, SolverStats
 from repro.arith.solver import is_sat
@@ -29,6 +36,13 @@ from repro.core.specs import CaseSpec, DefStore
 from repro.core.verifier import MethodAssumptions, Verifier, VerifierError
 from repro.lang import desugar_program, method_sccs, parse_program
 from repro.lang.ast import Program
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.specstore import SpecStore
+
+#: What callers may pass as ``store=``: a directory path or an open
+#: :class:`repro.store.specstore.SpecStore` (``None`` disables caching).
+StoreArg = Union[None, str, "SpecStore"]
 
 
 class Verdict(enum.Enum):
@@ -143,6 +157,35 @@ def analyze_scc_group(
     return specs
 
 
+def lookup_cached_specs(
+    spec_store: "SpecStore",
+    key: str,
+    body_methods: List[str],
+    stats: SolverStats,
+) -> Optional[Dict[str, CaseSpec]]:
+    """Consult the persistent spec store for one SCC; account the outcome.
+
+    Returns the cached group summaries on a hit (``stats.store_hits``),
+    ``None`` on a miss (``stats.store_misses``).  Entries that existed but
+    were rejected -- corrupt file, stale format version, or a method set
+    that does not match the fingerprint's SCC -- additionally count as
+    ``stats.store_invalidations`` and degrade to a miss, so a damaged
+    store can slow an analysis down but never change its answer.
+    Shared by the sequential driver below and the parallel scheduler.
+    """
+    cached, rejected = spec_store.load(key)
+    if rejected:
+        stats.store_invalidations += 1
+    if cached is not None and set(cached) != set(body_methods):
+        stats.store_invalidations += 1
+        cached = None
+    if cached is None:
+        stats.store_misses += 1
+        return None
+    stats.store_hits += 1
+    return cached
+
+
 def infer_program(
     program: Program,
     max_iter: int = 8,
@@ -150,21 +193,59 @@ def infer_program(
     time_budget: float = 30.0,
     solver_ctx: Optional[SolverContext] = None,
     jobs: int = 1,
+    store: StoreArg = None,
 ) -> InferenceResult:
     """Infer termination/non-termination summaries for every method.
 
-    Solver state is scoped per call-graph SCC: each group gets its own
-    :class:`~repro.arith.context.SolverContext`, so the whole
-    specialise/analyse/split iteration of that group shares one
-    incremental cache, while the statistics aggregate program-wide.
-    Passing *solver_ctx* instead shares a single caller-owned context
-    across every group (and the heap abstraction).
+    Parameters
+    ----------
+    program:
+        The (parsed) program to analyze.
+    max_iter:
+        Refinement-iteration bound per SCC for the TNT solver.
+    desugared:
+        Pass ``True`` when *program* already went through
+        :func:`repro.lang.desugar_program` (loops lifted to tail
+        recursion); otherwise it is desugared here.
+    time_budget:
+        Wall-clock budget (seconds) for each SCC's TNT solving loop; on
+        expiry the group degrades to weaker (``MayLoop``) cases instead
+        of raising.
+    solver_ctx:
+        Share one caller-owned :class:`~repro.arith.context.SolverContext`
+        across every group (and the heap abstraction).  Default: each
+        SCC gets its own fresh context, all feeding one program-wide
+        :class:`~repro.arith.context.SolverStats`.
+    jobs:
+        ``1`` (default) analyzes SCCs sequentially, callees first.
+        ``jobs > 1`` dispatches independent SCCs to that many worker
+        processes via the wave scheduler
+        (:func:`repro.core.scheduler.infer_program_parallel`);
+        ``jobs=0`` means one worker per CPU.  Requires ``solver_ctx``
+        to be ``None`` -- contexts cannot cross process boundaries.
+    store:
+        ``None`` (default) recomputes everything.  A directory path or
+        :class:`repro.store.specstore.SpecStore` enables the persistent
+        summary cache (see ``docs/store.md``): before an SCC is
+        analyzed, its structural fingerprint -- body digests combined
+        with transitively-reached callee digests and the ``max_iter`` /
+        ``time_budget`` knobs -- is looked up, and a hit replays the
+        stored :class:`~repro.core.specs.CaseSpec` summaries without
+        re-analysis.  Misses are analyzed normally and written back
+        (atomic rename, safe under ``jobs=N``).  Lookups are accounted
+        in ``solver_stats`` (``store_hits`` / ``store_misses`` /
+        ``store_invalidations``).
 
-    With ``jobs > 1`` (and no caller-owned *solver_ctx*, which cannot be
-    shared across worker processes) independent SCCs are analyzed
-    concurrently by the wave scheduler in :mod:`repro.core.scheduler`;
-    ``jobs=0`` means one worker per CPU.  ``jobs=1`` is the exact
-    sequential path below.
+    Returns
+    -------
+    InferenceResult
+        Summaries in callee-first order plus program-wide solver
+        statistics.  Caveats: with ``jobs > 1`` the result carries
+        ``contexts=None`` and an empty definition store; with a spec
+        store, SCCs resolved from cache have no entries in
+        ``result.store`` either (their definition trees were never
+        rebuilt) -- callers that walk ``result.store`` must run cold
+        and sequential.
     """
     from repro.core.scheduler import resolve_jobs
 
@@ -174,10 +255,11 @@ def infer_program(
 
         return infer_program_parallel(
             program, jobs=jobs, max_iter=max_iter, desugared=desugared,
-            time_budget=time_budget,
+            time_budget=time_budget, store=store,
         )
 
     from repro.seplog.abstraction import abstract_program  # local: optional dep
+    from repro.store.specstore import as_store
 
     stats = solver_ctx.stats if solver_ctx is not None else SolverStats()
 
@@ -189,29 +271,52 @@ def infer_program(
     if not desugared:
         program = desugar_program(program)
     program = abstract_program(program, ctx=group_ctx())
-    store = DefStore()
+    spec_store = as_store(store)
+    if spec_store is not None:
+        from repro.store.fingerprint import program_store_keys
+
+        sccs, _deps, keys = program_store_keys(
+            program, max_iter, time_budget
+        )
+    else:
+        sccs = method_sccs(program)
+        keys = [None] * len(sccs)
+    def_store = DefStore()
     solved: Dict[str, CaseSpec] = {}
     contexts: Dict[str, SolverContext] = {}
-    for scc in method_sccs(program):
+    for scc, key in zip(sccs, keys):
         ctx = group_ctx()
-        specs = analyze_scc_group(
-            program, scc, solved, store, max_iter, time_budget, ctx
-        )
+        body_methods = [
+            n for n in scc if program.methods[n].body is not None
+        ]
+        specs = None
+        cacheable = spec_store is not None and bool(body_methods)
+        if cacheable:
+            specs = lookup_cached_specs(spec_store, key, body_methods, stats)
+        if specs is None:
+            specs = analyze_scc_group(
+                program, scc, solved, def_store, max_iter, time_budget, ctx
+            )
+            if cacheable and specs:
+                spec_store.save(key, specs)
         for name, spec in specs.items():
             solved[name] = spec
             contexts[name] = ctx
     return InferenceResult(
-        program=program, specs=solved, store=store, solver_stats=stats,
+        program=program, specs=solved, store=def_store, solver_stats=stats,
         contexts=contexts,
     )
 
 
 def infer_source(
     source: str, max_iter: int = 8, time_budget: float = 30.0,
-    jobs: int = 1,
+    jobs: int = 1, store: StoreArg = None,
 ) -> InferenceResult:
-    """Parse, desugar and infer a program given as concrete syntax."""
+    """Parse, desugar and infer a program given as concrete syntax.
+
+    ``jobs`` and ``store`` are forwarded to :func:`infer_program`
+    unchanged (parallel SCC analysis; persistent summary cache)."""
     return infer_program(
         parse_program(source), max_iter=max_iter, time_budget=time_budget,
-        jobs=jobs,
+        jobs=jobs, store=store,
     )

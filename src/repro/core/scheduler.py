@@ -35,6 +35,11 @@ Process model
 The final :class:`~repro.core.pipeline.InferenceResult` lists specs in
 the sequential (callee-first) order, not completion order, so reports are
 deterministic regardless of scheduling.
+
+With a persistent spec store (:mod:`repro.store`) the parent additionally
+fingerprints every SCC up front and resolves cached groups inline at
+submission time, dispatching only misses; workers write computed
+summaries back through the store's atomic-rename protocol.
 """
 
 from __future__ import annotations
@@ -54,21 +59,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pipeline imports us)
 
 
 # Per-worker-process state installed by the pool initializer: the
-# abstracted program and the analysis knobs, shipped once per worker
-# instead of once per task.
+# abstracted program, the analysis knobs and (optionally) the persistent
+# spec store's root, shipped once per worker instead of once per task.
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _init_worker(program: Program, max_iter: int, time_budget: float) -> None:
+def _init_worker(
+    program: Program,
+    max_iter: int,
+    time_budget: float,
+    store_root: Optional[str] = None,
+) -> None:
     _WORKER_STATE["program"] = program
     _WORKER_STATE["max_iter"] = max_iter
     _WORKER_STATE["time_budget"] = time_budget
+    _WORKER_STATE["store_root"] = store_root
 
 
 def _analyze_scc_task(
     index: int,
     scc: List[str],
     callee_specs: Dict[str, CaseSpec],
+    store_key: Optional[str] = None,
 ):
     """Worker body: resolve one SCC against its callee summaries.
 
@@ -76,6 +88,12 @@ def _analyze_scc_task(
     where *specs* maps method name to its summary and *stats_snapshot* is
     the fresh per-SCC context's counters as a plain dict (picklable, and
     mergeable in any order on the parent).
+
+    When a persistent spec store is active the parent already performed
+    the lookup (this task only runs on a miss) and passes the SCC's
+    *store_key*; the worker writes its freshly computed summaries back
+    through the store's append-then-atomic-rename protocol, which is
+    safe with any number of workers (and parents) sharing the directory.
     """
     from repro.core.pipeline import analyze_scc_group
 
@@ -88,6 +106,11 @@ def _analyze_scc_task(
     specs = analyze_scc_group(
         program, scc, callee_specs, store, max_iter, time_budget, ctx
     )
+    store_root = _WORKER_STATE.get("store_root")
+    if store_root is not None and store_key is not None and specs:
+        from repro.store.specstore import SpecStore
+
+        SpecStore(store_root).save(store_key, specs)
     return index, specs, stats.as_dict()
 
 
@@ -125,6 +148,7 @@ def infer_program_parallel(
     max_iter: int = 8,
     desugared: bool = False,
     time_budget: float = 30.0,
+    store=None,
 ) -> "InferenceResult":
     """Parallel counterpart of :func:`repro.core.pipeline.infer_program`.
 
@@ -138,13 +162,24 @@ def infer_program_parallel(
     than the sequential sweep would (see docs/parallel.md) -- every tested
     program produces identical verdicts.
 
+    With a persistent spec *store* (path or
+    :class:`repro.store.specstore.SpecStore`), the parent looks each SCC
+    up by structural fingerprint at submission time: a hit resolves the
+    group instantly -- no worker round-trip -- and immediately unblocks
+    its dependents in the wave structure, so a fully warm store collapses
+    the whole run to a sequence of cache loads.  Misses are dispatched
+    normally and the *worker* writes the computed summaries back
+    (atomic-rename protocol, safe under ``jobs=N``).  Hits/misses/
+    invalidations are counted in the returned ``solver_stats``.
+
     The returned result carries ``contexts=None`` and an **empty**
     ``store``: per-SCC contexts and definition stores live and die in the
     workers, and summaries are flattened to case form before they travel.
     Callers that walk ``result.store`` must use the sequential path.
     """
-    from repro.core.pipeline import InferenceResult
+    from repro.core.pipeline import InferenceResult, lookup_cached_specs
     from repro.seplog.abstraction import abstract_program
+    from repro.store.specstore import as_store
 
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -154,7 +189,16 @@ def infer_program_parallel(
         program = desugar_program(program)
     program = abstract_program(program, ctx=SolverContext(stats=stats))
 
+    spec_store = as_store(store)
     sccs, deps = scc_dependencies(program)
+    if spec_store is not None:
+        from repro.store.fingerprint import scc_store_keys
+
+        keys: List[Optional[str]] = scc_store_keys(
+            program, sccs, deps, max_iter, time_budget
+        )
+    else:
+        keys = [None] * len(sccs)
     dependents: List[Set[int]] = [set() for _ in sccs]
     for i, dep in enumerate(deps):
         for j in dep:
@@ -166,29 +210,50 @@ def infer_program_parallel(
         max_workers=jobs,
         mp_context=pool_ctx,
         initializer=_init_worker,
-        initargs=(program, max_iter, time_budget),
+        initargs=(
+            program, max_iter, time_budget,
+            str(spec_store.root) if spec_store is not None else None,
+        ),
     ) as pool:
         remaining: List[Set[int]] = [set(d) for d in deps]
         submitted = [False] * len(sccs)
         pending: Dict[concurrent.futures.Future, int] = {}
+        # SCCs whose dependencies have all resolved, awaiting dispatch.
+        # A worklist (drained iteratively below) rather than recursive
+        # submission: groups resolved inline -- bodyless ones, and store
+        # hits on a warm run -- would otherwise nest submit()->finish()
+        # one stack frame per SCC, overflowing on long call chains.
+        ready: List[int] = []
 
         def finish(i: int, specs: Dict[str, CaseSpec]) -> None:
             solved.update(specs)
             for k in sorted(dependents[i]):
                 remaining[k].discard(i)
                 if not remaining[k] and not submitted[k]:
-                    submit(k)
+                    ready.append(k)
 
         def submit(i: int) -> None:
             submitted[i] = True
-            if all(
-                program.methods[name].body is None for name in sccs[i]
-            ):
+            body_methods = [
+                name for name in sccs[i]
+                if program.methods[name].body is not None
+            ]
+            if not body_methods:
                 # Bodyless (extern-only) groups have nothing to analyze;
                 # completing them inline spares a worker round-trip and
                 # lets their dependents dispatch immediately.
                 finish(i, {})
                 return
+            if spec_store is not None:
+                # Store lookups happen in the parent so a cached SCC
+                # resolves instantly -- its dependents dispatch from
+                # right here instead of waiting on a worker round-trip.
+                cached = lookup_cached_specs(
+                    spec_store, keys[i], body_methods, stats
+                )
+                if cached is not None:
+                    finish(i, cached)
+                    return
             # The verifier only ever looks up summaries of *direct* call
             # sites, so shipping the direct callee groups' specs is both
             # sufficient and keeps per-task payloads linear in the
@@ -199,12 +264,21 @@ def infer_program_parallel(
                 for name in sccs[j]
                 if name in solved
             }
-            fut = pool.submit(_analyze_scc_task, i, sccs[i], callee_specs)
+            fut = pool.submit(
+                _analyze_scc_task, i, sccs[i], callee_specs, keys[i]
+            )
             pending[fut] = i
 
+        def drain_ready() -> None:
+            while ready:
+                i = ready.pop()
+                if not submitted[i]:
+                    submit(i)
+
         for i, dep in enumerate(remaining):
-            if not dep and not submitted[i]:
-                submit(i)
+            if not dep:
+                ready.append(i)
+        drain_ready()
         while pending:
             done, _ = concurrent.futures.wait(
                 pending, return_when=concurrent.futures.FIRST_COMPLETED
@@ -214,6 +288,7 @@ def infer_program_parallel(
                 _idx, specs, snapshot = fut.result()  # worker errors re-raise
                 stats.merge_dict(snapshot)
                 finish(i, specs)
+            drain_ready()
 
     # Re-list the summaries in the sequential callee-first order so the
     # result is byte-identical no matter which worker finished first.

@@ -1,0 +1,189 @@
+"""Structural fingerprints for procedures and call-graph SCCs.
+
+A summary produced by the inference is a pure function of
+
+1. the procedure bodies of its SCC (after desugaring and heap
+   abstraction),
+2. the summaries of every transitively reached callee, and
+3. the analysis knobs (``max_iter``, ``time_budget``).
+
+Point 2 bottoms out in point 1: callee summaries are themselves pure
+functions of callee bodies.  A *store key* for an SCC therefore digests
+the SCC's own member bodies together with the store keys of its callee
+groups, recursively -- two programs agree on an SCC's key exactly when
+the whole sub-call-graph below it (bodies and signatures) agrees, which
+is the soundness condition for replaying a cached summary.
+
+Two stability requirements shape the dump format:
+
+* **No interning-order dependence.**  Conjunct/disjunct order inside
+  ``And``/``Or`` nodes is canonical *per process* (interning order, see
+  ``docs/solver.md``), so a digest over the raw argument tuple would
+  differ between processes that built the same formula along different
+  paths.  :func:`formula_key` sorts child keys textually instead.
+* **No id()/hash() dependence.**  Dumps are built purely from names,
+  operator strings and exact rational coefficients (``LinExpr.__str__``
+  orders coefficients by variable name).
+
+A fingerprint that fails to reproduce (e.g. because generated names from
+a non-reset fresh counter leak into an abstracted body) only causes
+store *misses* -- the store is content-addressed, so it can never cause
+a wrong *hit*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.arith.formula import (
+    And,
+    Atom,
+    BoolConst,
+    Exists,
+    Formula,
+    Not,
+    Or,
+)
+from repro.arith.terms import LinExpr
+from repro.lang.ast import Method, Program
+from repro.lang.callgraph import scc_dependencies
+
+#: Version of the fingerprint/dump scheme itself.  Bump whenever the dump
+#: format below changes meaning, so old store entries (keyed under the old
+#: scheme) can never alias new ones.
+FINGERPRINT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Canonical textual dumps
+# ---------------------------------------------------------------------------
+
+
+def formula_key(f: Optional[Formula]) -> str:
+    """A canonical, process-independent textual key for a formula.
+
+    ``And``/``Or`` children are keyed recursively and then *sorted*, so
+    the key is invariant under the interning-order permutation of
+    conjuncts; ``Exists`` binders are sorted likewise.
+    """
+    if f is None:
+        return "~"
+    if isinstance(f, BoolConst):
+        return "T" if f.value else "F"
+    if isinstance(f, Atom):
+        # LinExpr.__str__ lists coefficients sorted by variable name and
+        # prints exact rationals -- already canonical.
+        return f"({f.expr} {f.rel.value} 0)"
+    if isinstance(f, And):
+        return "(and " + " ".join(sorted(formula_key(a) for a in f.args)) + ")"
+    if isinstance(f, Or):
+        return "(or " + " ".join(sorted(formula_key(a) for a in f.args)) + ")"
+    if isinstance(f, Not):
+        return "(not " + formula_key(f.arg) + ")"
+    if isinstance(f, Exists):
+        bound = " ".join(sorted(f.bound))
+        return f"(ex [{bound}] " + formula_key(f.body) + ")"
+    raise TypeError(f"unknown formula node {type(f).__name__}")
+
+
+def _dump(x: object) -> str:
+    """Generic canonical dump for AST nodes (frozen dataclasses over
+    primitives, tuples, formulas and other AST nodes)."""
+    if x is None:
+        return "~"
+    if isinstance(x, bool):
+        return "#t" if x else "#f"
+    if isinstance(x, (int, str)):
+        return repr(x)
+    if isinstance(x, Formula):
+        return formula_key(x)
+    if isinstance(x, LinExpr):
+        return f"<{x}>"
+    if isinstance(x, (tuple, list)):
+        return "[" + " ".join(_dump(e) for e in x) + "]"
+    if dataclasses.is_dataclass(x):
+        parts = [type(x).__name__]
+        for fld in dataclasses.fields(x):
+            parts.append(_dump(getattr(x, fld.name)))
+        return "(" + " ".join(parts) + ")"
+    # Types (IntType, ...) and any other leaf with a canonical __str__.
+    return str(x)
+
+
+def method_digest(method: Method) -> str:
+    """SHA-256 hex digest of one method's analysis-relevant structure.
+
+    Covers the signature (name, return type, parameters), the pure
+    contracts (``requires``/``ensures``) and the body.  Heap
+    specifications are folded in by their dump as well; in the pipeline
+    fingerprints are taken *after* heap abstraction, where methods are
+    pure.
+    """
+    parts = [
+        f"v{FINGERPRINT_VERSION}",
+        str(method.ret_type),
+        repr(method.name),
+        _dump(tuple(method.params)),
+        formula_key(method.requires),   # type: ignore[arg-type]
+        formula_key(method.ensures),    # type: ignore[arg-type]
+        "#t" if method.is_primitive else "#f",
+        _dump(method.body),
+        _dump(tuple(method.heap_specs)) if method.heap_specs else "~",
+    ]
+    blob = "\n".join(parts).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# SCC store keys
+# ---------------------------------------------------------------------------
+
+
+def scc_store_keys(
+    program: Program,
+    sccs: Sequence[List[str]],
+    deps: Sequence[Set[int]],
+    max_iter: int,
+    time_budget: float,
+) -> List[str]:
+    """One store key per SCC of the condensation, aligned with *sccs*.
+
+    ``sccs``/``deps`` must come from
+    :func:`repro.lang.callgraph.scc_dependencies` (callee-first order, so
+    ``deps[i]`` only references earlier indices).  Key *i* digests the
+    member method digests of SCC *i*, the keys of its direct callee
+    groups (which transitively cover everything reachable), and the
+    analysis knobs -- changing ``max_iter`` or ``time_budget`` therefore
+    changes every key, and editing a method changes exactly the keys of
+    its own SCC and the SCCs that transitively call it.
+    """
+    keys: List[str] = []
+    for i, scc in enumerate(sccs):
+        h = hashlib.sha256()
+        h.update(
+            f"tnt-scc:v{FINGERPRINT_VERSION}:"
+            f"max_iter={max_iter}:time_budget={time_budget!r}\n".encode()
+        )
+        for name in scc:  # scc is sorted by name already
+            h.update(name.encode())
+            h.update(b"=")
+            h.update(method_digest(program.methods[name]).encode())
+            h.update(b"\n")
+        for j in sorted(deps[i]):
+            h.update(keys[j].encode())
+            h.update(b"\n")
+        keys.append(h.hexdigest())
+    return keys
+
+
+def program_store_keys(
+    program: Program, max_iter: int, time_budget: float
+) -> Tuple[List[List[str]], List[Set[int]], List[str]]:
+    """``(sccs, deps, keys)`` for a desugared (and, if applicable,
+    heap-abstracted) program -- the condensation in callee-first order
+    plus one store key per SCC."""
+    sccs, deps = scc_dependencies(program)
+    keys = scc_store_keys(program, sccs, deps, max_iter, time_budget)
+    return sccs, deps, keys

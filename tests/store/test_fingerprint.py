@@ -1,0 +1,105 @@
+"""Structural fingerprints: stability, order-insensitivity, invalidation
+locality (editing a method changes exactly its own SCC's key and its
+transitive callers')."""
+
+import pytest
+
+from repro.arith.formula import And, Atom, Or, Rel, atom_le
+from repro.arith.terms import LinExpr, var
+from repro.lang import desugar_program, parse_program
+from repro.store.fingerprint import (
+    formula_key,
+    method_digest,
+    program_store_keys,
+)
+
+DIAMOND = """
+int bottom(int n) { if (n <= 0) { return 0; } else { return bottom(n - 1); } }
+int left(int n) { return bottom(n); }
+int right(int n) { if (n <= 0) { return 0; } else { return right(n - 2); } }
+int top(int x, int y) { int a = left(x); int b = right(y); return a + b; }
+"""
+
+# Same shape, but `left` gained an extra decrement -- a one-method edit.
+DIAMOND_EDITED = DIAMOND.replace(
+    "int left(int n) { return bottom(n); }",
+    "int left(int n) { return bottom(n - 1); }",
+)
+
+
+def _keys_by_scc(source: str, max_iter: int = 8, budget: float = 30.0):
+    program = desugar_program(parse_program(source))
+    sccs, _deps, keys = program_store_keys(program, max_iter, budget)
+    return {tuple(scc): key for scc, key in zip(sccs, keys)}
+
+
+class TestMethodDigest:
+    def test_stable_across_reparses(self):
+        d1 = {
+            name: method_digest(m)
+            for name, m in parse_program(DIAMOND).methods.items()
+        }
+        d2 = {
+            name: method_digest(m)
+            for name, m in parse_program(DIAMOND).methods.items()
+        }
+        assert d1 == d2
+
+    def test_distinct_methods_distinct_digests(self):
+        program = parse_program(DIAMOND)
+        digests = [method_digest(m) for m in program.methods.values()]
+        assert len(set(digests)) == len(digests)
+
+    def test_body_edit_changes_digest(self):
+        before = parse_program(DIAMOND).methods["left"]
+        after = parse_program(DIAMOND_EDITED).methods["left"]
+        assert method_digest(before) != method_digest(after)
+
+
+class TestFormulaKey:
+    def test_conjunct_order_insensitive(self):
+        a = atom_le(var("x"), 0)
+        b = atom_le(var("y"), 3)
+        assert formula_key(And((a, b))) == formula_key(And((b, a)))
+        assert formula_key(Or((a, b))) == formula_key(Or((b, a)))
+
+    def test_key_is_sorted_join_of_children(self):
+        a = atom_le(var("x"), 0)
+        b = atom_le(var("y"), 3)
+        ka, kb = sorted([formula_key(a), formula_key(b)])
+        assert formula_key(And((a, b))) == f"(and {ka} {kb})"
+
+    def test_atom_key_uses_canonical_linexpr_text(self):
+        # Coefficients print sorted by variable name regardless of
+        # construction order.
+        e1 = LinExpr({"a": 1, "z": 2}, 5)
+        e2 = LinExpr({"z": 2, "a": 1}, 5)
+        assert formula_key(Atom(e1, Rel.LE)) == formula_key(Atom(e2, Rel.LE))
+
+
+class TestSccKeys:
+    def test_editing_a_method_invalidates_exactly_its_dependents(self):
+        before = _keys_by_scc(DIAMOND)
+        after = _keys_by_scc(DIAMOND_EDITED)
+        assert before.keys() == after.keys()
+        changed = {s for s in before if before[s] != after[s]}
+        # `left` itself and its (transitive) caller `top` change; the
+        # untouched `bottom` and the independent `right` keep their keys.
+        assert changed == {("left",), ("top",)}
+
+    def test_knobs_enter_the_key(self):
+        assert _keys_by_scc(DIAMOND, max_iter=8) != _keys_by_scc(
+            DIAMOND, max_iter=9
+        )
+        assert _keys_by_scc(DIAMOND, budget=30.0) != _keys_by_scc(
+            DIAMOND, budget=31.0
+        )
+
+    def test_keys_depend_on_transitive_callees(self):
+        # Editing `bottom` must ripple through left (direct caller) and
+        # top (transitive caller), but not right.
+        edited = DIAMOND.replace("bottom(n - 1)", "bottom(n - 2)")
+        before = _keys_by_scc(DIAMOND)
+        after = _keys_by_scc(edited)
+        changed = {s for s in before if before[s] != after[s]}
+        assert changed == {("bottom",), ("left",), ("top",)}

@@ -1,0 +1,130 @@
+"""SpecStore on-disk behaviour: round-trip fidelity (including formula
+re-interning), corruption/staleness rejection, and the atomic-rename
+write protocol's crash droppings tolerance."""
+
+import hashlib
+import pickle
+import struct
+
+import pytest
+
+from repro.core import infer_source
+from repro.store.specstore import MAGIC, STORE_VERSION, SpecStore, as_store
+
+CHAIN = """
+int dec(int n) { if (n <= 0) { return 0; } else { return dec(n - 1); } }
+int mid(int n) { return dec(n); }
+void top(int x) { int r = mid(x); return; }
+"""
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SpecStore(tmp_path / "store")
+
+
+def _cold_specs():
+    return infer_source(CHAIN).specs
+
+
+class TestRoundTrip:
+    def test_specs_survive_save_load(self, store):
+        specs = _cold_specs()
+        store.save("ab" * 32, specs)
+        loaded, rejected = store.load("ab" * 32)
+        assert not rejected
+        assert loaded == specs
+
+    def test_loaded_formulas_reintern(self, store):
+        """A loaded spec's guards re-intern: structurally equal formulas
+        are pointer-equal to the originals in this process, so caches and
+        canonical conjunct order behave as for freshly built formulas."""
+        specs = _cold_specs()
+        store.save("cd" * 32, specs)
+        loaded, _ = store.load("cd" * 32)
+        for name, spec in specs.items():
+            for orig, back in zip(spec.cases, loaded[name].cases):
+                assert back.guard is orig.guard
+                assert back.pred == orig.pred
+
+    def test_missing_key_is_clean_miss(self, store):
+        loaded, rejected = store.load("00" * 32)
+        assert loaded is None and not rejected
+
+    def test_store_pickles_as_path(self, store):
+        clone = pickle.loads(pickle.dumps(store))
+        assert clone.root == store.root
+
+
+class TestRejection:
+    KEY = "ef" * 32
+
+    def _entry_path(self, store):
+        store.save(self.KEY, _cold_specs())
+        return store._path(self.KEY)
+
+    def _assert_rejected_and_deleted(self, store):
+        loaded, rejected = store.load(self.KEY)
+        assert loaded is None and rejected
+        assert not store._path(self.KEY).exists()
+
+    def test_corrupt_payload_rejected_and_deleted(self, store):
+        path = self._entry_path(store)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload byte: checksum must catch it
+        path.write_bytes(bytes(blob))
+        self._assert_rejected_and_deleted(store)
+
+    def test_truncated_entry_rejected(self, store):
+        path = self._entry_path(store)
+        path.write_bytes(path.read_bytes()[:20])
+        self._assert_rejected_and_deleted(store)
+
+    def test_stale_version_rejected(self, store):
+        path = self._entry_path(store)
+        payload = pickle.dumps({"key": self.KEY, "specs": _cold_specs()})
+        blob = (
+            struct.pack(">4sH", MAGIC, STORE_VERSION + 1)
+            + hashlib.sha256(payload).digest()
+            + payload
+        )
+        path.write_bytes(blob)
+        self._assert_rejected_and_deleted(store)
+
+    def test_key_mismatch_rejected(self, store):
+        # A valid entry renamed under a different key must not be trusted:
+        # the payload records the key it was written for.
+        store.save("11" * 32, _cold_specs())
+        src = store._path("11" * 32)
+        dst = store._path(self.KEY)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_bytes(src.read_bytes())
+        self._assert_rejected_and_deleted(store)
+
+    def test_unpicklable_garbage_rejected(self, store):
+        path = store._path(self.KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        garbage = b"\x01\x02\x03 not a pickle"
+        blob = (
+            struct.pack(">4sH", MAGIC, STORE_VERSION)
+            + hashlib.sha256(garbage).digest()
+            + garbage
+        )
+        path.write_bytes(blob)
+        self._assert_rejected_and_deleted(store)
+
+
+class TestMaintenance:
+    def test_len_keys_wipe(self, store):
+        specs = _cold_specs()
+        store.save("aa" * 32, specs)
+        store.save("bb" * 32, specs)
+        assert len(store) == 2
+        assert sorted(store.keys()) == ["aa" * 32, "bb" * 32]
+        store.wipe()
+        assert len(store) == 0
+
+    def test_as_store_coercions(self, store, tmp_path):
+        assert as_store(None) is None
+        assert as_store(store) is store
+        assert as_store(str(tmp_path / "fresh")).root == tmp_path / "fresh"
