@@ -221,6 +221,216 @@ def test_parallel_diamond_speedup():
     )
 
 
+# ---------------------------------------------------------------------------
+# Decision-procedure backend micro comparison
+# ---------------------------------------------------------------------------
+
+# One benchmark per constructible backend (z3 appears only where the
+# optional z3-solver package is importable), so ``pytest benchmarks -k
+# backend_cube`` prints a per-backend timing table.  Verdict agreement is
+# asserted inside each run: exact for "fm"-semantics engines, the
+# one-sided UNSAT law for exact-integer ones (see docs/solver.md).
+
+
+def _backend_micro_cubes():
+    """A deterministic batch of ~60 raw-atom cubes over four variables,
+    mixing satisfiable and contradictory systems (seeded, so every
+    backend times the identical workload)."""
+    import random
+
+    from fractions import Fraction
+
+    from repro.arith.formula import Atom, Rel
+    from repro.arith.terms import LinExpr
+
+    rng = random.Random(7)
+    names = ["m", "n", "p", "q"]
+    cubes = []
+    for _ in range(60):
+        atoms = []
+        for _ in range(rng.randint(3, 7)):
+            coeffs = {
+                v: Fraction(rng.choice([-3, -2, -1, 1, 2, 3]))
+                for v in rng.sample(names, rng.randint(1, 3))
+            }
+            rel = Rel.LT if rng.random() < 0.2 else Rel.LE
+            atoms.append(
+                Atom(LinExpr(coeffs, Fraction(rng.randint(-6, 6))), rel)
+            )
+        cubes.append(atoms)
+    return cubes
+
+
+def _available_backend_names():
+    from repro.arith.backends import available_backends
+
+    return available_backends()
+
+
+@pytest.mark.parametrize("backend_name", _available_backend_names())
+def test_bench_backend_cube_sat(benchmark, backend_name):
+    from repro.arith.backends import get_backend
+
+    be = get_backend(backend_name)
+    ref = get_backend("reference")
+    cubes = _backend_micro_cubes()
+    expected = [ref.cube_is_sat(c) for c in cubes]
+
+    def run():
+        be.clear_caches()
+        return [be.cube_is_sat(c) for c in cubes]
+
+    got = benchmark(run)
+    if be.semantics == "fm":
+        assert got == expected, f"backend {be.name} diverged from reference"
+    else:
+        # exact-integer engines may prune models the fm relaxation keeps,
+        # but fm-UNSAT must imply int-UNSAT
+        for fm_sat, int_sat in zip(expected, got):
+            if not fm_sat:
+                assert not int_sat
+    be.clear_caches()
+
+
+def _backend_dense_cubes():
+    """Three dense 18-atom cubes over five variables: the quadratic FM
+    pairing dominates here, which is where the vectorized matrix engine
+    pulls ahead (the small-cube workload above is overhead-bound)."""
+    import random
+
+    from fractions import Fraction
+
+    from repro.arith.formula import Atom, Rel
+    from repro.arith.terms import LinExpr
+
+    rng = random.Random(3)
+    names = [f"v{i}" for i in range(5)]
+    cubes = []
+    for _ in range(3):
+        atoms = []
+        for _ in range(18):
+            coeffs = {
+                v: Fraction(rng.choice([-3, -2, -1, 1, 2, 3]))
+                for v in rng.sample(names, rng.randint(2, 3))
+            }
+            atoms.append(
+                Atom(LinExpr(coeffs, Fraction(rng.randint(-8, 8))), Rel.LE)
+            )
+        cubes.append(atoms)
+    return cubes
+
+
+@pytest.mark.parametrize("backend_name", _available_backend_names())
+def test_bench_backend_dense_cube_sat(benchmark, backend_name):
+    from repro.arith.backends import get_backend
+
+    be = get_backend(backend_name)
+    ref = get_backend("reference")
+    cubes = _backend_dense_cubes()
+    expected = [ref.cube_is_sat(c) for c in cubes]
+
+    def run():
+        be.clear_caches()
+        return [be.cube_is_sat(c) for c in cubes]
+
+    got = benchmark(run)
+    if be.semantics == "fm":
+        assert got == expected, f"backend {be.name} diverged from reference"
+    else:
+        for fm_sat, int_sat in zip(expected, got):
+            if not fm_sat:
+                assert not int_sat
+    be.clear_caches()
+
+
+# ---------------------------------------------------------------------------
+# Elimination-ordering perf guard
+# ---------------------------------------------------------------------------
+
+# A cube (found by randomized search, then frozen) where ranking all
+# variables up front against the *original* atoms -- the historical
+# ``_elimination_order`` behaviour -- steers the quadratic FM pairing into
+# roughly twice the work of the interleaved cheapest-first heuristic.
+_STALE_PESSIMAL_CUBE = [
+    {"b": 2, "c": -1, "d": -1, "": -4},
+    {"a": -2, "b": -1, "": -2},
+    {"b": 1, "c": 1, "": -2},
+    {"a": 2, "c": -2, "d": 2, "": 2},
+    {"a": -2, "b": 1, "d": 1, "": -1},
+    {"a": 1, "": -4},
+    {"b": 1, "c": 1, "d": -2, "": -4},
+    {"a": 2, "b": -1, "c": 1, "": -1},
+    {"a": 2, "c": 1, "d": 2, "": -2},
+]
+
+
+def _stale_order_eliminate(atoms, targets):
+    """Replay of the pre-fix ordering: every variable is scored once
+    against the ORIGINAL cube (greedy re-selection over a never-updated
+    ``current``), then eliminated in that fixed order."""
+    from repro.arith import fm
+
+    order = sorted(
+        targets,
+        key=lambda n: (
+            (lambda lo, up, _r: len(lo) * len(up))(
+                *fm._partition_by_var(atoms, n)
+            ),
+            n,
+        ),
+    )
+    current = list(atoms)
+    for name in order:
+        current = fm.eliminate_var(current, name)
+    return current
+
+
+@pytest.mark.perf_guard
+def test_perf_guard_interleaved_ordering_beats_stale_ordering():
+    """Ordering-regression guard for :func:`fm.eliminate_all`.
+
+    The cheapest-first heuristic must be re-scored against the current
+    (partially eliminated) cube each round.  The historical bug ranked all
+    variables once against the original cube; on this fixture that stale
+    order does about twice the elimination work.  If the interleaving
+    regresses, the work counts converge and this fails."""
+    from fractions import Fraction
+
+    from repro.arith import fm
+    from repro.arith.formula import Atom, Rel
+    from repro.arith.terms import LinExpr
+
+    atoms = [
+        Atom(
+            LinExpr(
+                {k: Fraction(v) for k, v in row.items() if k},
+                Fraction(row[""]),
+            ),
+            Rel.LE,
+        )
+        for row in _STALE_PESSIMAL_CUBE
+    ]
+    targets = {"a", "b", "c", "d"}
+
+    before = fm.elimination_count()
+    interleaved_out = fm.eliminate_all(list(atoms), set(targets))
+    interleaved = fm.elimination_count() - before
+
+    before = fm.elimination_count()
+    stale_out = _stale_order_eliminate(atoms, targets)
+    stale = fm.elimination_count() - before
+
+    # Both orders are sound projections: here both reach the same (empty,
+    # satisfiable) residue -- only the work to get there differs.
+    assert interleaved_out == stale_out == []
+    assert interleaved > 0 and stale > 0
+    assert interleaved < stale, (
+        f"interleaved ordering did {interleaved} FM work units vs "
+        f"{stale} for the stale up-front ordering: the cheapest-first "
+        "re-scoring has regressed"
+    )
+
+
 @pytest.mark.perf_guard
 def test_perf_guard_warm_context_fewer_fm_eliminations():
     """Cache-regression guard: a second (warm-context) run of the same

@@ -1,0 +1,149 @@
+"""Pluggable decision-procedure backends for the cube layer.
+
+:class:`~repro.arith.context.SolverContext` answers every formula-level
+query through three cube operations; this package supplies
+interchangeable implementations of them:
+
+``reference``
+    The exact-Fraction pure-python Fourier-Motzkin engine (the trust
+    anchor; always available).
+``matrix``
+    Vectorized FM on dense numpy matrices -- identical ``"fm"``
+    semantics, same verdicts, vectorized hot path.
+``z3``
+    Exact linear integer arithmetic via the optional ``z3-solver``
+    package; self-reports :class:`~repro.arith.backends.base
+    .BackendUnavailable` where z3 is not importable.
+``differential`` / ``differential:<a>,<b>``
+    A meta-backend running two backends per query and raising
+    :class:`~repro.arith.backends.differential.BackendDivergence` on
+    disagreement (default pair: ``reference,matrix``).
+
+Selection: pass a backend name (or instance) to ``SolverContext``,
+``infer_program(..., backend=...)`` or ``python -m repro.bench
+--backend ...``; the ``REPRO_SOLVER_BACKEND`` environment variable sets
+the process-wide default, falling back to ``reference``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.arith.backends.base import (
+    BackendUnavailable,
+    BackendUnsupported,
+    CubeBackend,
+)
+
+__all__ = [
+    "BackendUnavailable",
+    "BackendUnsupported",
+    "CubeBackend",
+    "available_backends",
+    "clear_backend_caches",
+    "get_backend",
+]
+
+#: Environment variable naming the process-wide default backend.
+BACKEND_ENV_VAR = "REPRO_SOLVER_BACKEND"
+
+#: Default pair for the bare ``differential`` spec.
+_DEFAULT_DIFFERENTIAL = ("reference", "matrix")
+
+
+def _make_reference() -> CubeBackend:
+    from repro.arith.backends.reference import ReferenceBackend
+
+    return ReferenceBackend()
+
+
+def _make_matrix() -> CubeBackend:
+    from repro.arith.backends.matrix import MatrixBackend
+
+    return MatrixBackend()
+
+
+def _make_z3() -> CubeBackend:
+    from repro.arith.backends.z3backend import Z3Backend
+
+    return Z3Backend()  # raises BackendUnavailable without z3-solver
+
+
+_FACTORIES: Dict[str, Callable[[], CubeBackend]] = {
+    "reference": _make_reference,
+    "matrix": _make_matrix,
+    "z3": _make_z3,
+}
+
+#: Singleton instances, so repeated ``get_backend("matrix")`` calls share
+#: one memo cache (mirroring the module-level reference memo).
+_INSTANCES: Dict[str, CubeBackend] = {}
+
+
+def _is_importable(name: str) -> bool:
+    if name == "z3":
+        from repro.arith.backends.z3backend import Z3_AVAILABLE
+
+        return Z3_AVAILABLE
+    if name == "matrix":
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            return False
+    return True
+
+
+def available_backends() -> List[str]:
+    """Names of backends constructible in this environment (sorted)."""
+    return sorted(n for n in _FACTORIES if _is_importable(n))
+
+
+def _instance(name: str) -> CubeBackend:
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown solver backend {name!r}; known: "
+            + ", ".join(sorted(_FACTORIES))
+            + ", differential[:<a>,<b>]"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = _FACTORIES[name]()
+    return _INSTANCES[name]
+
+
+def get_backend(
+    spec: Optional[Union[str, CubeBackend]] = None,
+) -> CubeBackend:
+    """Resolve a backend spec to a live instance.
+
+    ``spec`` may be ``None`` (use ``$REPRO_SOLVER_BACKEND`` or
+    ``reference``), a registry name, ``"differential"`` /
+    ``"differential:<a>,<b>"``, or an already-constructed
+    :class:`CubeBackend` (returned as-is).
+    """
+    if isinstance(spec, CubeBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR) or "reference"
+    spec = spec.strip()
+    if spec == "differential" or spec.startswith("differential:"):
+        from repro.arith.backends.differential import DifferentialBackend
+
+        if spec == "differential":
+            a, b = _DEFAULT_DIFFERENTIAL
+        else:
+            pair = spec.split(":", 1)[1].split(",")
+            if len(pair) != 2 or not all(p.strip() for p in pair):
+                raise ValueError(
+                    f"bad differential spec {spec!r}; expected "
+                    "'differential:<primary>,<secondary>'"
+                )
+            a, b = (p.strip() for p in pair)
+        return DifferentialBackend(_instance(a), _instance(b))
+    return _instance(spec)
+
+
+def clear_backend_caches() -> None:
+    """Clear the private memo caches of every instantiated backend."""
+    for backend in _INSTANCES.values():
+        backend.clear_caches()

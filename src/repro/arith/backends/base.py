@@ -1,0 +1,101 @@
+"""The cube-level decision-procedure interface every backend implements.
+
+:class:`repro.arith.context.SolverContext` reduces all formula-level
+queries (sat, entailment, projection, model search) to three operations on
+*cubes* -- conjunctions of normalised :class:`~repro.arith.formula.Atom`
+objects.  A :class:`CubeBackend` supplies those three operations:
+
+* ``cube_is_sat(atoms)`` -- satisfiability of a cube;
+* ``project_cube(atoms, keep=/eliminate=)`` -- existential projection,
+  returning the projected cube (raises :class:`repro.arith.fm.Unsat` when
+  the input cube is contradictory);
+* ``cube_model(atoms)`` -- a rational witness, or ``None``.
+
+Backends differ in **speed** and in **trust**, and may differ in
+**semantics**:
+
+* ``semantics = "fm"``: the integer-tightened Fourier-Motzkin relaxation
+  this repository's reference engine implements -- exact on the
+  unit-coefficient fragment, a sound UNSAT test in general (a "sat" answer
+  may be a rational artefact outside that fragment).  Two ``"fm"``
+  backends must agree **exactly** on every query.
+* ``semantics = "int"``: exact linear integer arithmetic (the z3
+  backend).  Against an ``"fm"`` backend only the one-sided law holds:
+  *fm-UNSAT implies int-UNSAT* (the relaxation never loses integer
+  solutions), so an ``"fm"`` backend answering UNSAT where an ``"int"``
+  backend finds a model is a genuine soundness bug, while fm-SAT /
+  int-UNSAT is the documented incompleteness gap of the relaxation.
+
+The differential meta-backend (:mod:`repro.arith.backends.differential`)
+encodes exactly these agreement laws.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.arith.formula import Atom
+
+
+class BackendUnavailable(RuntimeError):
+    """Requested backend cannot run here (missing optional dependency)."""
+
+
+class BackendUnsupported(NotImplementedError):
+    """The backend does not implement the requested operation natively."""
+
+
+class CubeBackend:
+    """Base class for cube-level decision-procedure backends.
+
+    Subclasses set ``name`` (the registry key), ``semantics`` (``"fm"`` or
+    ``"int"``, see the module docstring) and ``trust`` (higher = more
+    trusted; used for documentation and divergence reports, never to
+    silently override an answer).
+    """
+
+    name: str = "abstract"
+    semantics: str = "fm"
+    trust: int = 0
+    #: Whether :meth:`project_cube` is implemented natively.  When False
+    #: the inherited implementation transparently falls back to the
+    #: reference engine (and differential mode skips the comparison --
+    #: reference-vs-reference would be vacuous).
+    supports_projection: bool = True
+    #: Same flag for :meth:`cube_model`.
+    supports_model: bool = True
+
+    def cube_is_sat(self, atoms: Sequence[Atom]) -> bool:
+        raise NotImplementedError
+
+    def project_cube(
+        self,
+        atoms: Sequence[Atom],
+        keep: Optional[Set[str]] = None,
+        eliminate: Optional[Set[str]] = None,
+    ) -> List[Atom]:
+        """Project a cube onto *keep* (or eliminate *eliminate*).
+
+        Backends without a native projection inherit this reference
+        fallback so every backend is usable behind the full
+        :class:`~repro.arith.context.SolverContext` facade.
+        """
+        from repro.arith import fm
+
+        return fm.project_cube(atoms, keep=keep, eliminate=eliminate)
+
+    def cube_model(self, atoms: Sequence[Atom]) -> Optional[Dict[str, Fraction]]:
+        """A rational model of the cube, or ``None``.
+
+        Default: the reference engine's exact back-substitution witness.
+        """
+        from repro.arith import fm
+
+        return fm.cube_model(atoms)
+
+    def clear_caches(self) -> None:
+        """Drop any backend-private memo state (no-op by default)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

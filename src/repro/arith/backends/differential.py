@@ -1,0 +1,269 @@
+"""Differential meta-backend: run two backends per query, assert agreement.
+
+Every cube query is answered by a *primary* backend and cross-checked
+against a *secondary* one.  The agreement law depends on the pair's
+semantics (see :mod:`repro.arith.backends.base`):
+
+* two ``"fm"`` backends (or two ``"int"`` backends) must agree exactly,
+  on sat verdicts and on projections;
+* an ``"fm"`` backend against an ``"int"`` backend is held to the
+  one-sided law only: *fm-UNSAT implies int-UNSAT*.  An fm backend
+  answering UNSAT where the integer backend finds a model is a genuine
+  soundness bug and raises; fm-SAT / int-UNSAT is the documented
+  incompleteness gap of the relaxation and is merely counted
+  (``relaxation_gaps``).
+
+On disagreement the offending cube is first shrunk by a greedy
+ddmin-style pass -- repeatedly dropping any atom whose removal preserves
+the divergence -- so :class:`BackendDivergence` reports a *minimal*
+reproducer, not the original thousand-atom cube.
+
+Projections of two ``"fm"`` backends are compared structurally first
+(both engines normalise identically, so the atom sets should be equal
+object-for-object) and, when that fails, semantically: mutual cube
+entailment decided by the reference engine as arbiter, using the
+integer-tightened negations ``not(e<=0) == (-e+1<=0)``,
+``not(e<0) == (-e<=0)`` and ``not(e==0) == (e<=-1) or (-e<=-1)``.
+Structurally-different-but-equivalent projections pass; genuinely
+different solution sets raise.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arith import fm
+from repro.arith.backends.base import CubeBackend
+from repro.arith.formula import Atom, Rel
+
+
+class BackendDivergence(AssertionError):
+    """Two backends disagreed on a cube query.
+
+    Carries the operation name, both backend names with their answers,
+    and a minimized reproducer cube.
+    """
+
+    def __init__(
+        self,
+        op: str,
+        primary: CubeBackend,
+        secondary: CubeBackend,
+        answers: Tuple[object, object],
+        cube: Sequence[Atom],
+    ):
+        self.op = op
+        self.primary = primary.name
+        self.secondary = secondary.name
+        self.answers = answers
+        self.cube = list(cube)
+        lines = [
+            f"backend divergence on {op}:",
+            f"  {primary.name} ({primary.semantics}, trust {primary.trust})"
+            f" -> {answers[0]!r}",
+            f"  {secondary.name} ({secondary.semantics}, trust {secondary.trust})"
+            f" -> {answers[1]!r}",
+            "  minimized cube:",
+        ]
+        lines.extend(f"    {a!r}" for a in self.cube)
+        super().__init__("\n".join(lines))
+
+
+def _minimize(
+    atoms: Sequence[Atom], still_diverges: Callable[[Sequence[Atom]], bool]
+) -> List[Atom]:
+    """Greedy one-atom-at-a-time shrink preserving the divergence."""
+    cur = list(atoms)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(cur)):
+            cand = cur[:i] + cur[i + 1:]
+            try:
+                keep = still_diverges(cand)
+            except Exception:  # a backend crashing on the sub-cube
+                keep = False   # is a different bug; do not chase it here
+            if keep:
+                cur = cand
+                changed = True
+                break
+    return cur
+
+
+def _negation_branches(atom: Atom) -> List[List[Atom]]:
+    """Integer-tightened negation of one atom, as a disjunction of cubes."""
+    e = atom.expr
+    if atom.rel is Rel.LE:
+        return [[Atom((-e) + 1, Rel.LE)]]
+    if atom.rel is Rel.LT:
+        return [[Atom(-e, Rel.LE)]]
+    # Rel.EQ: e != 0  <=>  e <= -1  or  -e <= -1
+    return [[Atom(e + 1, Rel.LE)], [Atom((-e) + 1, Rel.LE)]]
+
+
+def _cube_entails_atom(
+    arbiter: CubeBackend, cube: Sequence[Atom], atom: Atom
+) -> bool:
+    for branch in _negation_branches(atom):
+        if arbiter.cube_is_sat(list(cube) + branch):
+            return False
+    return True
+
+
+def _cubes_equivalent(
+    arbiter: CubeBackend, a: Sequence[Atom], b: Sequence[Atom]
+) -> bool:
+    return all(_cube_entails_atom(arbiter, b, x) for x in a) and all(
+        _cube_entails_atom(arbiter, a, x) for x in b
+    )
+
+
+class DifferentialBackend(CubeBackend):
+    """Answer with *primary*, cross-check against *secondary*.
+
+    The verdict returned to the caller is always the primary's, so
+    plugging ``differential`` into a pipeline changes nothing but cost --
+    unless the backends disagree, in which case the query raises
+    :class:`BackendDivergence` instead of silently propagating either
+    answer.
+    """
+
+    semantics = "fm"
+    supports_projection = True
+
+    def __init__(self, primary: CubeBackend, secondary: CubeBackend):
+        self.primary = primary
+        self.secondary = secondary
+        self.name = f"differential:{primary.name},{secondary.name}"
+        self.semantics = primary.semantics
+        self.trust = max(primary.trust, secondary.trust)
+        self.supports_projection = primary.supports_projection
+        self.supports_model = primary.supports_model
+        #: Total cross-checked queries.
+        self.queries = 0
+        #: fm-SAT / int-UNSAT cases (legal incompleteness of the relaxation).
+        self.relaxation_gaps = 0
+
+    # -- sat ------------------------------------------------------------
+
+    def _sat_pair(self, atoms: Sequence[Atom]) -> Tuple[bool, bool]:
+        return (
+            self.primary.cube_is_sat(atoms),
+            self.secondary.cube_is_sat(atoms),
+        )
+
+    def _sat_diverges(self, p: bool, s: bool) -> bool:
+        if self.primary.semantics == self.secondary.semantics:
+            return p != s
+        # Mixed fm/int pair: only fm-UNSAT with an integer model is a bug.
+        fm_ans, int_ans = (
+            (p, s) if self.primary.semantics == "fm" else (s, p)
+        )
+        return (not fm_ans) and int_ans
+
+    def cube_is_sat(self, atoms: Sequence[Atom]) -> bool:
+        self.queries += 1
+        p, s = self._sat_pair(atoms)
+        if self._sat_diverges(p, s):
+            small = _minimize(
+                atoms, lambda sub: self._sat_diverges(*self._sat_pair(sub))
+            )
+            pa, sa = self._sat_pair(small)
+            raise BackendDivergence(
+                "cube_is_sat", self.primary, self.secondary, (pa, sa), small
+            )
+        if p != s:
+            self.relaxation_gaps += 1
+        return p
+
+    # -- projection ------------------------------------------------------
+
+    def _project_outcome(
+        self, backend: CubeBackend, atoms, keep, eliminate
+    ):
+        try:
+            return frozenset(
+                backend.project_cube(atoms, keep=keep, eliminate=eliminate)
+            )
+        except fm.Unsat:
+            return fm.Unsat
+
+    def _projection_diverges(self, a, b) -> bool:
+        if a is fm.Unsat or b is fm.Unsat:
+            return a is not b
+        if a == b:
+            return False
+        arbiter = (
+            self.primary
+            if self.primary.semantics == "fm"
+            else self.secondary
+        )
+        return not _cubes_equivalent(arbiter, sorted(a, key=repr), sorted(b, key=repr))
+
+    def project_cube(
+        self,
+        atoms: Sequence[Atom],
+        keep: Optional[Set[str]] = None,
+        eliminate: Optional[Set[str]] = None,
+    ) -> List[Atom]:
+        comparable = (
+            self.secondary.supports_projection
+            and self.primary.supports_projection
+            and self.primary.semantics == self.secondary.semantics
+        )
+        if not comparable:
+            # A reference fallback on either side would compare the
+            # reference engine with itself -- vacuous, so skip the check.
+            return self.primary.project_cube(
+                atoms, keep=keep, eliminate=eliminate
+            )
+        self.queries += 1
+        a = self._project_outcome(self.primary, atoms, keep, eliminate)
+        b = self._project_outcome(self.secondary, atoms, keep, eliminate)
+        if self._projection_diverges(a, b):
+            small = _minimize(
+                atoms,
+                lambda sub: self._projection_diverges(
+                    self._project_outcome(self.primary, sub, keep, eliminate),
+                    self._project_outcome(self.secondary, sub, keep, eliminate),
+                ),
+            )
+            pa = self._project_outcome(self.primary, small, keep, eliminate)
+            sa = self._project_outcome(self.secondary, small, keep, eliminate)
+            raise BackendDivergence(
+                "project_cube",
+                self.primary,
+                self.secondary,
+                (
+                    pa if pa is fm.Unsat else sorted(pa, key=repr),
+                    sa if sa is fm.Unsat else sorted(sa, key=repr),
+                ),
+                small,
+            )
+        if a is fm.Unsat:
+            raise fm.Unsat()
+        return self.primary.project_cube(atoms, keep=keep, eliminate=eliminate)
+
+    # -- model -----------------------------------------------------------
+
+    def cube_model(self, atoms: Sequence[Atom]) -> Optional[Dict[str, Fraction]]:
+        model = self.primary.cube_model(atoms)
+        if model is not None:
+            env = dict(model)
+            for a in atoms:
+                for n in a.expr.variables():
+                    env.setdefault(n, Fraction(0))
+            if not all(a.evaluate(env) for a in atoms):
+                raise BackendDivergence(
+                    "cube_model",
+                    self.primary,
+                    self.secondary,
+                    (model, "model does not satisfy the cube"),
+                    list(atoms),
+                )
+        return model
+
+    def clear_caches(self) -> None:
+        self.primary.clear_caches()
+        self.secondary.clear_caches()

@@ -1,0 +1,374 @@
+"""Vectorized Fourier-Motzkin cube elimination on dense numpy matrices.
+
+A cube of normalised LE/LT atoms becomes one dense integer matrix: one row
+per atom, one column per variable plus a trailing constant column, with a
+parallel boolean vector marking (rational-)strict rows.  One elimination
+round is then three numpy operations instead of a quadratic python loop of
+:class:`~repro.arith.terms.LinExpr` allocations:
+
+* sign-partition the pivot column into lower/upper/unrelated rows,
+* form every lower x upper combination in a single broadcast
+  (``cl[:,None,None] * U + cu[None,:,None] * L``),
+* gcd-reduce and integer-tighten all new rows column-wise.
+
+Arithmetic is exact: rows live in ``int64`` while a cheap a-priori bound
+shows one combination round cannot overflow, and the whole matrix is
+upcast to arbitrary-precision python ints (``dtype=object``) the moment it
+could.  Equality preprocessing (Gaussian substitution) is shared with the
+reference engine -- it is linear and not the hot path.
+
+The backend reproduces the reference engine bit for bit, including its
+treatment of *raw* (not smart-constructed) atoms: input atoms that never
+participate in a combination pass through **verbatim** (each row remembers
+its origin atom), and only derived rows are renormalised -- with the same
+gcd reduction, the same dark-shadow constant floor, and the same
+cheapest-first interleaved elimination order with lexicographic ties as
+:func:`repro.arith.fm.eliminate_all`.  Projections therefore re-intern to
+the identical :class:`~repro.arith.formula.Atom` sets and sat verdicts
+must match the reference exactly -- which is what the differential
+meta-backend asserts.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.arith import fm
+from repro.arith.backends.base import CubeBackend
+from repro.arith.formula import Atom, Rel
+from repro.arith.lru import LRUCache
+from repro.arith.terms import LinExpr
+
+#: Upcast to python-int (object dtype) when one combination round could
+#: produce values at or beyond this magnitude in int64 arithmetic.
+_INT64_SAFE = 2 ** 62
+
+
+def _int_gcd_row(row: np.ndarray) -> int:
+    g = 0
+    for v in row:
+        g = gcd(g, abs(int(v)))
+        if g == 1:
+            break
+    return g
+
+
+class _Tableau:
+    """A cube as a dense integer matrix plus per-row metadata.
+
+    ``origin[i]`` is the input atom row *i* was ingested from, or ``None``
+    for rows derived by combination.  The reference engine emits untouched
+    input atoms verbatim (even non-canonical ones), so the conversion back
+    to atoms must do the same.
+    """
+
+    __slots__ = ("names", "rows", "strict", "origin")
+
+    def __init__(
+        self,
+        names: List[str],
+        rows: np.ndarray,
+        strict: np.ndarray,
+        origin: List[Optional[Atom]],
+    ):
+        self.names = names      # column order; constant column is last
+        self.rows = rows        # shape (m, len(names) + 1)
+        self.strict = strict    # shape (m,), True for Rel.LT rows
+        self.origin = origin    # length m
+
+    @property
+    def width(self) -> int:
+        return len(self.names) + 1
+
+
+def _ingest(atoms: Sequence[Atom]) -> Tuple[_Tableau, List[Atom]]:
+    """Build the tableau; constant atoms are split off as passthrough.
+
+    Fractional coefficients (raw ``Atom`` constructions bypassing the
+    normalising smart constructors) are cleared by scaling each row with
+    the positive lcm of its denominators -- solution-set preserving for
+    every relation.  No gcd reduction or tightening happens here: the
+    reference engine leaves input atoms untouched until they take part in
+    a combination, and derived rows are where both engines normalise.
+
+    Constant atoms never participate in elimination (the reference keeps
+    them in the untouched remainder forever), so they bypass the matrix
+    entirely and are returned as a passthrough list.
+    """
+    names = sorted({v for a in atoms for v in a.expr.variables()})
+    index = {n: i for i, n in enumerate(names)}
+    width = len(names) + 1
+    passthrough = [a for a in atoms if a.expr.is_constant()]
+    keep = [a for a in atoms if not a.expr.is_constant()]
+    rows = np.zeros((len(keep), width), dtype=object)
+    strict = np.zeros(len(keep), dtype=bool)
+    for r, a in enumerate(keep):
+        coeffs = a.expr.coeffs
+        scale = a.expr.constant.denominator
+        for c in coeffs.values():
+            scale = scale * c.denominator // gcd(scale, c.denominator)
+        for n, c in coeffs.items():
+            rows[r, index[n]] = int(c * scale)
+        rows[r, width - 1] = int(a.expr.constant * scale)
+        strict[r] = a.rel is Rel.LT
+    # Start in int64 when everything fits comfortably; the elimination
+    # loop upcasts again if combinations could overflow.
+    if rows.size == 0 or max(abs(int(v)) for v in rows.flat) < _INT64_SAFE:
+        rows = rows.astype(np.int64)
+    return _Tableau(names, rows, strict, list(keep)), passthrough
+
+
+def _renorm_rows(
+    rows: np.ndarray, strict: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gcd-reduce and integer-tighten derived rows; fold constant rows.
+
+    Mirrors what :func:`repro.arith.fm._renorm` does to every combination
+    the reference engine derives: non-strict rows divide the variable part
+    by its gcd and floor the constant (the dark-shadow tightening, as in
+    ``_norm_le``), strict rows divide the whole row by its common gcd
+    (as in ``LinExpr.normalized``).  Satisfied constant rows are dropped;
+    violated ones raise :class:`repro.arith.fm.Unsat`.
+    """
+    if rows.shape[0] == 0:
+        return rows, strict
+    var = rows[:, :-1]
+    const = rows[:, -1]
+    if rows.dtype == object:
+        g = np.array([_int_gcd_row(row) for row in var], dtype=object)
+    else:
+        g = (
+            np.gcd.reduce(np.abs(var), axis=1)
+            if var.shape[1]
+            else np.zeros(len(rows), dtype=rows.dtype)
+        )
+    is_const = g == 0
+    if is_const.any():
+        cv = const[is_const]
+        st = strict[is_const]
+        if np.any(np.where(st, cv >= 0, cv > 0)):
+            raise fm.Unsat()
+        rows = rows[~is_const]
+        strict = strict[~is_const]
+        g = g[~is_const]
+        var = rows[:, :-1]
+        const = rows[:, -1]
+    if rows.shape[0] == 0:
+        return rows, strict
+    # Non-strict reduction: var //= g, const := ceil(const / g).
+    red = (~strict) & (g > 1)
+    if red.any():
+        gr = g[red][:, None]
+        var[red] = var[red] // gr
+        const[red] = -((-const[red]) // g[red])
+    # Strict reduction: divide the entire row by gcd(g, |const|).
+    sm = strict & (g > 0)
+    if sm.any():
+        if rows.dtype == object:
+            g2 = np.array(
+                [gcd(int(a), abs(int(b))) for a, b in zip(g[sm], const[sm])],
+                dtype=object,
+            )
+        else:
+            g2 = np.gcd(g[sm], np.abs(const[sm]))
+        g2 = np.where(g2 > 1, g2, 1)
+        var[sm] = var[sm] // g2[:, None]
+        const[sm] = const[sm] // g2
+    return rows, strict
+
+
+def _cheapest_column(t: _Tableau, remaining: Set[str]) -> str:
+    """Same heuristic and tie-break as :func:`repro.arith.fm._cheapest_var`:
+    fewest lower x upper combinations against the *current* tableau,
+    lexicographically first on ties."""
+    best = None
+    best_cost = None
+    index = {n: i for i, n in enumerate(t.names)}
+    for n in sorted(remaining):
+        j = index.get(n)
+        if j is None:
+            cost = 0
+        else:
+            col = t.rows[:, j]
+            cost = int(np.count_nonzero(col > 0)) * int(
+                np.count_nonzero(col < 0)
+            )
+        if best_cost is None or cost < best_cost:
+            best, best_cost = n, cost
+    assert best is not None
+    return best
+
+
+def _eliminate_column(t: _Tableau, name: str) -> _Tableau:
+    """One FM round on the tableau, fully vectorized."""
+    if name not in t.names:
+        fm.record_eliminations(1)
+        return t
+    j = t.names.index(name)
+    col = t.rows[:, j]
+    neg = col < 0
+    pos = col > 0
+    zero = ~(neg | pos)
+    L, Ls = t.rows[neg], t.strict[neg]
+    U, Us = t.rows[pos], t.strict[pos]
+    fm.record_eliminations(1 + L.shape[0] * U.shape[0])
+    base_rows, base_strict = t.rows[zero], t.strict[zero]
+    base_origin = [o for o, z in zip(t.origin, zero) if z]
+    names = [n for n in t.names if n != name]
+    keep_cols = [i for i in range(t.width) if i != j]
+    if not (L.shape[0] and U.shape[0]):
+        # One-sided bounds: every row mentioning the pivot is dropped.
+        return _Tableau(names, base_rows[:, keep_cols], base_strict, base_origin)
+    if t.rows.dtype != object:
+        # |cl*up + cu*lo| <= 2 * max|pivot coeff| * max|entry|: upcast to
+        # python ints before a round that could overflow int64.
+        maxc = int(np.abs(col).max())
+        maxv = int(np.abs(np.concatenate([L, U])).max())
+        if 2 * maxc * maxv >= _INT64_SAFE:
+            L = L.astype(object)
+            U = U.astype(object)
+            base_rows = base_rows.astype(object)
+    cl = -L[:, j]          # positive lower-bound pivot coefficients
+    cu = U[:, j]           # positive upper-bound pivot coefficients
+    new = cl[:, None, None] * U[None, :, :] + cu[None, :, None] * L[:, None, :]
+    new = new.reshape(-1, t.width)
+    new_strict = (Ls[:, None] | Us[None, :]).reshape(-1)
+    new, new_strict = _renorm_rows(new, new_strict)
+    if base_rows.dtype != new.dtype:
+        base_rows = base_rows.astype(new.dtype)
+    rows = np.concatenate([base_rows, new])
+    strict = np.concatenate([base_strict, new_strict])
+    origin = base_origin + [None] * new.shape[0]
+    # Per-round dedup on row values, first occurrence wins -- untouched
+    # rows come first, exactly like the reference's ``rest + combinations``
+    # ordering through _dedup.
+    seen: set = set()
+    keep: List[int] = []
+    for i in range(rows.shape[0]):
+        key = (tuple(int(v) for v in rows[i]), bool(strict[i]))
+        if key not in seen:
+            seen.add(key)
+            keep.append(i)
+    if len(keep) != rows.shape[0]:
+        rows = rows[keep]
+        strict = strict[keep]
+        origin = [origin[i] for i in keep]
+    return _Tableau(names, rows[:, keep_cols], strict, origin)
+
+
+def _eliminate_all(t: _Tableau, targets: Set[str]) -> _Tableau:
+    remaining = set(targets)
+    while remaining:
+        name = _cheapest_column(t, remaining)
+        remaining.discard(name)
+        t = _eliminate_column(t, name)
+    return t
+
+
+def _to_atoms(t: _Tableau) -> List[Atom]:
+    """Convert surviving rows back to atoms.
+
+    Untouched rows yield their original (possibly non-canonical) input
+    atom verbatim; derived rows are re-interned through the normalising
+    constructor -- an identity here, since :func:`_renorm_rows` already
+    put them in the reference engine's canonical shape.
+    """
+    out: List[Atom] = []
+    for i in range(t.rows.shape[0]):
+        if t.origin[i] is not None:
+            out.append(t.origin[i])
+            continue
+        coeffs = {
+            n: int(t.rows[i, k])
+            for k, n in enumerate(t.names)
+            if t.rows[i, k] != 0
+        }
+        expr = LinExpr(coeffs, int(t.rows[i, -1]))
+        rel = Rel.LT if t.strict[i] else Rel.LE
+        r = fm._renorm(expr, rel)
+        if r is not None:
+            out.append(r)
+    return out
+
+
+class MatrixBackend(CubeBackend):
+    """Dense-matrix FM: the raw-speed path of the ``"fm"`` semantics.
+
+    Equality substitution and witness construction reuse the exact
+    reference routines (linear, off the hot path); the quadratic cube
+    elimination underneath sat and projection is vectorized.  Sat verdicts
+    are memoised per backend instance in an LRU cache that is deliberately
+    *separate* from the reference engine's module cache -- sharing it
+    would let one backend answer from the other's memo and make
+    differential cross-checking vacuous.
+    """
+
+    name = "matrix"
+    semantics = "fm"
+    trust = 1
+    supports_model = False  # witness path is the shared reference one
+
+    def __init__(self, cache_size: int = 500_000):
+        self._sat_cache = LRUCache(cache_size)
+
+    def cube_is_sat(self, atoms: Sequence[Atom]) -> bool:
+        key = frozenset(atoms)
+        cached = self._sat_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._raw_cube_is_sat(atoms)
+        self._sat_cache.put(key, result)
+        return result
+
+    def _raw_cube_is_sat(self, atoms: Sequence[Atom]) -> bool:
+        try:
+            cube = fm.substitute_equalities(list(atoms))
+            les: List[Atom] = []
+            for a in cube:
+                if a.rel is Rel.EQ:
+                    les.append(Atom(a.expr, Rel.LE))
+                    les.append(Atom(-a.expr, Rel.LE))
+                else:
+                    les.append(a)
+            t, _ = _ingest(les)
+            _eliminate_all(t, set(t.names))
+            return True
+        except fm.Unsat:
+            return False
+
+    def project_cube(
+        self,
+        atoms: Sequence[Atom],
+        keep: Optional[Set[str]] = None,
+        eliminate: Optional[Set[str]] = None,
+    ) -> List[Atom]:
+        if (keep is None) == (eliminate is None):
+            raise ValueError("specify exactly one of keep= or eliminate=")
+        cube = fm.substitute_equalities(list(atoms))
+        free: Set[str] = set()
+        for a in cube:
+            free |= a.expr.variables()
+        targets = (
+            (free - keep) if keep is not None else (free & set(eliminate or ()))
+        )
+        les: List[Atom] = []
+        eq_kept: List[Atom] = []
+        for a in cube:
+            if a.rel is Rel.EQ:
+                if a.expr.variables() & targets:
+                    les.append(Atom(a.expr, Rel.LE))
+                    les.append(Atom(-a.expr, Rel.LE))
+                else:
+                    eq_kept.append(a)
+            else:
+                les.append(a)
+        t, passthrough = _ingest(les)
+        t = _eliminate_all(t, targets)
+        return fm._dedup(eq_kept + passthrough + _to_atoms(t))
+
+    def clear_caches(self) -> None:
+        self._sat_cache.clear(reset_evictions=True)

@@ -1,0 +1,48 @@
+"""The exact-Fraction Fourier-Motzkin engine as a pluggable backend.
+
+This is a thin adapter over :mod:`repro.arith.fm` -- the engine every
+verdict in the repository bottomed out in before backends existed.  It is
+the **trust anchor** of the ``"fm"`` semantics: the matrix backend must
+agree with it exactly, and the differential meta-backend uses it as the
+arbiter when comparing projections semantically.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.arith import fm
+from repro.arith.backends.base import CubeBackend
+from repro.arith.formula import Atom
+
+
+class ReferenceBackend(CubeBackend):
+    """Pure-python exact-arithmetic FM (the historical implementation).
+
+    Satisfiability is memoised in the module-level FM cube cache
+    (:func:`repro.arith.fm.cube_is_sat`), exactly as before the backend
+    split, so existing cache-behaviour guarantees -- and the perf-guard
+    tests built on them -- are unchanged.
+    """
+
+    name = "reference"
+    semantics = "fm"
+    trust = 1
+
+    def cube_is_sat(self, atoms: Sequence[Atom]) -> bool:
+        return fm.cube_is_sat(atoms)
+
+    def project_cube(
+        self,
+        atoms: Sequence[Atom],
+        keep: Optional[Set[str]] = None,
+        eliminate: Optional[Set[str]] = None,
+    ) -> List[Atom]:
+        return fm.project_cube(atoms, keep=keep, eliminate=eliminate)
+
+    def cube_model(self, atoms: Sequence[Atom]) -> Optional[Dict[str, Fraction]]:
+        return fm.cube_model(atoms)
+
+    def clear_caches(self) -> None:
+        fm.clear_fm_caches()

@@ -1,0 +1,116 @@
+"""Optional z3 backend: exact linear *integer* arithmetic for cubes.
+
+This backend is deliberately a different **semantics** (``"int"``) from
+the Fourier-Motzkin engines (``"fm"``): variables range over the
+integers and strict atoms mean ``e <= -1``, with no rational relaxation
+anywhere.  Against an ``"fm"`` backend only the one-sided law holds
+(fm-UNSAT implies int-UNSAT); see :mod:`repro.arith.backends.base`.
+
+z3 is an *optional* dependency -- this module imports everywhere, and
+only constructing :class:`Z3Backend` raises
+:class:`~repro.arith.backends.base.BackendUnavailable` when the
+``z3-solver`` package is absent.  The registry and the differential test
+suite gate on :data:`Z3_AVAILABLE` and self-skip, so a z3-less
+environment stays green.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Dict, Optional, Sequence
+
+from repro.arith.backends.base import BackendUnavailable, CubeBackend
+from repro.arith.formula import Atom, Rel
+from repro.arith.lru import LRUCache
+
+try:  # pragma: no cover - exercised only where z3 is installed
+    import z3  # type: ignore
+
+    Z3_AVAILABLE = True
+except ImportError:  # pragma: no cover - the common container case
+    z3 = None  # type: ignore
+    Z3_AVAILABLE = False
+
+
+def _atom_to_z3(atom: Atom, consts: Dict[str, "z3.ArithRef"]) -> "z3.BoolRef":
+    """Translate one normalised atom into a z3 integer constraint.
+
+    Fractional coefficients (possible on raw ``Atom`` constructions) are
+    cleared by scaling with the positive lcm of the denominators, which
+    preserves each relation exactly.
+    """
+    coeffs = atom.expr.coeffs
+    scale = atom.expr.constant.denominator
+    for c in coeffs.values():
+        scale = scale * c.denominator // gcd(scale, c.denominator)
+    terms = [int(c * scale) * consts[n] for n, c in sorted(coeffs.items())]
+    expr = z3.Sum(terms) + int(atom.expr.constant * scale) if terms else \
+        z3.IntVal(int(atom.expr.constant * scale))
+    if atom.rel is Rel.LE:
+        return expr <= 0
+    if atom.rel is Rel.EQ:
+        return expr == 0
+    return expr < 0  # Rel.LT; on integers this is expr <= -1
+
+
+class Z3Backend(CubeBackend):
+    """Cube decisions via the z3 SMT solver over the integers.
+
+    No native projection (z3's quantifier elimination produces formulas in
+    a different normal form; projection falls back to the reference
+    engine, and differential mode skips the comparison).  Models are
+    native and exact.
+    """
+
+    name = "z3"
+    semantics = "int"
+    trust = 2
+    supports_projection = False
+
+    def __init__(self, cache_size: int = 500_000):
+        if not Z3_AVAILABLE:
+            raise BackendUnavailable(
+                "the z3 backend needs the 'z3-solver' package, which is not "
+                "importable in this environment"
+            )
+        self._sat_cache = LRUCache(cache_size)
+
+    def _solve(self, atoms: Sequence[Atom]) -> "z3.Solver":
+        consts = {
+            n: z3.Int(n)
+            for a in atoms
+            for n in a.expr.variables()
+        }
+        solver = z3.Solver()
+        for a in atoms:
+            solver.add(_atom_to_z3(a, consts))
+        return solver
+
+    def cube_is_sat(self, atoms: Sequence[Atom]) -> bool:
+        key = frozenset(atoms)
+        cached = self._sat_cache.get(key)
+        if cached is not None:
+            return cached
+        verdict = self._solve(atoms).check()
+        if verdict == z3.unknown:  # pragma: no cover - LIA is decidable
+            raise RuntimeError("z3 returned 'unknown' on a linear cube")
+        result = verdict == z3.sat
+        self._sat_cache.put(key, result)
+        return result
+
+    def cube_model(self, atoms: Sequence[Atom]) -> Optional[Dict[str, Fraction]]:
+        solver = self._solve(atoms)
+        if solver.check() != z3.sat:
+            return None
+        model = solver.model()
+        env: Dict[str, Fraction] = {}
+        for a in atoms:
+            for n in a.expr.variables():
+                if n not in env:
+                    val = model.eval(z3.Int(n), model_completion=True)
+                    env[n] = Fraction(val.as_long())
+        return env
+
+    def clear_caches(self) -> None:
+        self._sat_cache.clear(reset_evictions=True)

@@ -20,16 +20,30 @@ from repro.arith.formula import Atom, BoolConst, FALSE, Rel, TRUE, _atom_or_cons
 from repro.arith.lru import LRUCache
 from repro.arith.terms import LinExpr
 
-#: Count of raw Fourier-Motzkin variable eliminations performed since the
-#: last :func:`clear_fm_caches`.  :class:`repro.arith.context.SolverContext`
-#: snapshots this around each query to attribute FM work to its statistics;
-#: the perf-guard benchmark asserts warm-context runs do strictly less of it.
+#: Count of raw Fourier-Motzkin elimination *work* performed since the last
+#: :func:`clear_fm_caches`: one unit per eliminated variable plus one per
+#: lower/upper bound combination it generated, so the counter tracks the
+#: quadratic pairing that actually costs time, not just the number of
+#: variables touched.  :class:`repro.arith.context.SolverContext` snapshots
+#: this around each query to attribute FM work to its statistics; the
+#: perf-guard benchmarks assert warm-context runs do strictly less of it.
 _ELIMINATIONS = 0
 
 
 def elimination_count() -> int:
-    """Total raw FM variable eliminations performed so far."""
+    """Total raw FM elimination work units performed so far."""
     return _ELIMINATIONS
+
+
+def record_eliminations(n: int) -> None:
+    """Add *n* elimination work units to the module counter.
+
+    Alternative cube engines (:mod:`repro.arith.backends`) report their
+    elimination work through here so context statistics and perf guards
+    see one uniform counter regardless of the backend in use.
+    """
+    global _ELIMINATIONS
+    _ELIMINATIONS += n
 
 
 class Unsat(Exception):
@@ -142,8 +156,8 @@ def eliminate_var(atoms: Sequence[Atom], name: str) -> List[Atom]:
     :class:`Unsat` when a contradiction becomes constant.
     """
     global _ELIMINATIONS
-    _ELIMINATIONS += 1
     lowers, uppers, rest = _partition_by_var(atoms, name)
+    _ELIMINATIONS += 1 + len(lowers) * len(uppers)
     out = list(rest)
     for lo in lowers:
         cl = -lo.expr.coeff(name)  # positive
@@ -173,24 +187,48 @@ def _dedup(atoms: Iterable[Atom]) -> List[Atom]:
     return out
 
 
-def _elimination_order(atoms: Sequence[Atom], names: Set[str]) -> List[str]:
-    """Cheapest-first heuristic: eliminate the variable that produces the
-    fewest combined constraints."""
-    order: List[str] = []
-    remaining = set(names)
+def _cheapest_var(atoms: Sequence[Atom], remaining: Set[str]) -> str:
+    """The variable of *remaining* whose elimination from *atoms* produces
+    the fewest combined constraints (ties broken lexicographically, so the
+    choice is independent of set-iteration order)."""
+    best = None
+    best_cost = None
+    for n in sorted(remaining):
+        lowers, uppers, _ = _partition_by_var(atoms, n)
+        cost = len(lowers) * len(uppers)
+        if best_cost is None or cost < best_cost:
+            best, best_cost = n, cost
+    assert best is not None
+    return best
+
+
+def eliminate_all(
+    atoms: Sequence[Atom],
+    targets: Set[str],
+    stack: Optional[List[Tuple[str, List[Atom]]]] = None,
+) -> List[Atom]:
+    """Eliminate every variable of *targets* from a cube of LE atoms.
+
+    The cheapest-first heuristic is *interleaved* with elimination: after
+    each round the next variable is scored against the current (partially
+    eliminated) cube, not the original one -- scoring everything up front
+    ranks variables by bound counts that the earlier eliminations have
+    already invalidated, which can steer the quadratic pairing into far
+    more combinations than necessary.
+
+    When *stack* is given, ``(name, atoms-before-eliminating-name)`` is
+    appended per round (the back-substitution input of :func:`cube_model`).
+    Raises :class:`Unsat` when a contradiction becomes constant.
+    """
+    remaining = set(targets)
     current = list(atoms)
     while remaining:
-        best = None
-        best_cost = None
-        for n in remaining:
-            lowers, uppers, _ = _partition_by_var(current, n)
-            cost = len(lowers) * len(uppers)
-            if best_cost is None or cost < best_cost:
-                best, best_cost = n, cost
-        assert best is not None
-        order.append(best)
-        remaining.discard(best)
-    return order
+        name = _cheapest_var(current, remaining)
+        remaining.discard(name)
+        if stack is not None:
+            stack.append((name, current))
+        current = eliminate_var(current, name)
+    return current
 
 
 def project_cube(atoms: Sequence[Atom], keep: Optional[Set[str]] = None,
@@ -221,8 +259,7 @@ def project_cube(atoms: Sequence[Atom], keep: Optional[Set[str]] = None,
             les.append(a)
     eq_kept = [a for a in les if a.rel is Rel.EQ]
     ineqs = [a for a in les if a.rel is not Rel.EQ]
-    for name in _elimination_order(ineqs, targets):
-        ineqs = eliminate_var(ineqs, name)
+    ineqs = eliminate_all(ineqs, targets)
     return _dedup(eq_kept + ineqs)
 
 
@@ -276,8 +313,7 @@ def _cube_is_sat(atoms: Sequence[Atom]) -> bool:
                 ineqs.append(Atom(-a.expr, Rel.LE))
             else:
                 ineqs.append(a)
-        for name in _elimination_order(ineqs, free):
-            ineqs = eliminate_var(ineqs, name)
+        eliminate_all(ineqs, free)
         # all remaining atoms are constant-free-variable (none) -> checked in
         # _renorm; reaching here means no contradiction was found
         return True
@@ -289,7 +325,11 @@ def cube_model(atoms: Sequence[Atom]) -> Optional[Dict[str, Fraction]]:
     """Produce a (rational) model of a satisfiable cube by back-substitution.
 
     Returns ``None`` when the cube is unsatisfiable.  Values are chosen
-    integral whenever the interval permits.
+    integral whenever the interval permits.  The returned environment is
+    validated against **every input atom** before being handed out -- a
+    witness-construction defect (e.g. a residual equality whose variables
+    never flowed through back-substitution) degrades to ``None`` instead of
+    an invalid model.
     """
     record: List[Tuple[str, LinExpr]] = []
     try:
@@ -301,13 +341,9 @@ def cube_model(atoms: Sequence[Atom]) -> Optional[Dict[str, Fraction]]:
     free: Set[str] = set()
     for a in cube:
         free |= a.expr.variables()
-    order = _elimination_order(ineqs, free)
     stack: List[Tuple[str, List[Atom]]] = []
-    current = ineqs
     try:
-        for name in order:
-            stack.append((name, current))
-            current = eliminate_var(current, name)
+        eliminate_all(ineqs, free, stack=stack)
     except Unsat:
         return None
     env: Dict[str, Fraction] = {}
@@ -341,8 +377,27 @@ def cube_model(atoms: Sequence[Atom]) -> Optional[Dict[str, Fraction]]:
             env.setdefault(v, Fraction(0))
         env[name] = expr.evaluate(env)
     for a in eq_atoms:
+        # Residual equalities still mentioning unassigned variables are
+        # *solved* for one of them (the others default to 0), never blindly
+        # zeroed: ``x == y + 5`` with y unconstrained must yield x = 5, not
+        # the invalid x = y = 0.
+        missing = sorted(a.expr.variables() - set(env))
+        if not missing:
+            continue
+        pivot = missing[0]
+        for m in missing[1:]:
+            env[m] = Fraction(0)
+        c = a.expr.coeff(pivot)
+        rest = (a.expr - LinExpr({pivot: c})).evaluate(env)
+        env[pivot] = rest / (-c)
+    for a in atoms:
         for m in a.expr.variables() - set(env):
             env[m] = Fraction(0)
+    # The witness must satisfy every *input* atom (not just the residue the
+    # elimination worked on); if construction left a hole, answer "no model
+    # found" rather than an assignment that violates the cube.
+    if not all(a.evaluate(env) for a in atoms):
+        return None
     return env
 
 

@@ -12,6 +12,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+#: Private miss sentinel for :meth:`LRUCache.get`.  Distinguishing a miss
+#: from a stored value by identity with the *caller's* default would treat
+#: a legitimately cached value that happens to be that default (``None``,
+#: ``False``, ``0``, ...) as a miss and never promote it in the LRU order.
+_MISS = object()
+
 
 class LRUCache:
     """A bounded mapping with least-recently-used eviction.
@@ -32,15 +38,16 @@ class LRUCache:
         self._stats = stats
 
     def get(self, key, default=None):
-        hit = self._data.get(key, default)
-        if hit is not default:
-            try:
-                self._data.move_to_end(key)
-            except KeyError:
-                # Lost a race with a concurrent evict/clear (an abandoned
-                # bench watchdog worker shares the module-level caches).
-                # The value we read is still a valid memo result.
-                pass
+        hit = self._data.get(key, _MISS)
+        if hit is _MISS:
+            return default
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            # Lost a race with a concurrent evict/clear (an abandoned
+            # bench watchdog worker shares the module-level caches).
+            # The value we read is still a valid memo result.
+            pass
         return hit
 
     def put(self, key, value) -> None:

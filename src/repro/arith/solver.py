@@ -55,11 +55,14 @@ def clear_caches() -> None:
     """Drop all memoised solver results and reset statistics.
 
     Clears the default context's caches and stats, the module-level DNF
-    memo, and the FM cube-satisfiability memo (mostly useful in
-    benchmarks)."""
+    memo, the FM cube-satisfiability memo and the private memo of every
+    instantiated solver backend (mostly useful in benchmarks)."""
+    from repro.arith.backends import clear_backend_caches
+
     default_context().clear(reset_stats=True)
     clear_dnf_cache()
     fm.clear_fm_caches()
+    clear_backend_caches()
 
 
 def solver_stats(ctx: Optional[SolverContext] = None) -> SolverStats:

@@ -6,6 +6,11 @@ spec store (see ``docs/store.md``) and each table grows a ``HIPTNT+
 cold-vs-warm in one table.  ``--cold`` wipes the store first, so the
 first sweep is guaranteed cold even when DIR already holds entries from
 an earlier invocation.
+
+With ``--backend NAME`` (e.g. ``matrix``) each table grows a ``HIPTNT+
+[NAME]`` row running the sweep with that decision-procedure backend
+(see ``docs/solver.md``) and a footer line reporting verdict parity and
+the measured wall-clock ratio against the reference row.
 """
 
 from __future__ import annotations
@@ -42,19 +47,33 @@ def main() -> None:
         help="wipe the --store directory before running, guaranteeing the "
         "first HIPTNT+ sweep is cold",
     )
+    parser.add_argument(
+        "--backend", metavar="NAME", default=None,
+        help="decision-procedure backend (reference, matrix, z3, "
+        "differential[:a,b]); adds a 'HIPTNT+ [NAME]' row running the "
+        "sweep on that backend plus a parity/speedup footer against the "
+        "reference row",
+    )
     args = parser.parse_args()
     if args.cold and not args.store:
         parser.error("--cold requires --store DIR")
+    if args.backend:
+        from repro.arith.backends import get_backend
+
+        try:
+            get_backend(args.backend)
+        except Exception as exc:
+            parser.error(f"--backend {args.backend}: {exc}")
     if args.cold:
         from repro.store import SpecStore
 
         SpecStore(args.store).wipe()
     if args.table == "fig10":
         print(fig10_table(timeout=args.timeout, jobs=args.jobs,
-                          store=args.store))
+                          store=args.store, backend=args.backend))
     else:
         print(fig11_table(timeout=args.timeout, jobs=args.jobs,
-                          store=args.store))
+                          store=args.store, backend=args.backend))
 
 
 if __name__ == "__main__":

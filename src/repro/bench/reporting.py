@@ -13,6 +13,12 @@ Both tables accept ``store=`` (a persistent spec-store directory, see
 extra ``HIPTNT+ (warm)`` row re-runs the same programs against the
 now-populated store -- the cold-vs-warm comparison, with store
 hit/miss/invalidation counters on the ``↳ solver`` summary lines.
+
+They also accept ``backend=`` (a decision-procedure backend name, see
+:mod:`repro.arith.backends` and ``docs/solver.md``): an extra ``HIPTNT+
+[<backend>]`` row runs the full sweep with that cube engine, and a
+``↳ backend`` footer line checks the row program-by-program against the
+reference row -- verdict parity plus the measured wall-clock ratio.
 """
 
 from __future__ import annotations
@@ -43,10 +49,12 @@ class _HipWrapper:
     """
 
     def __init__(self, name: str = "HIPTNT+",
-                 store: Optional[str] = None) -> None:
+                 store: Optional[str] = None,
+                 backend: Optional[str] = None) -> None:
         self.name = name
         self._main: Optional[str] = None
         self._store = store
+        self._backend = backend
         self.last_stats = None  # forwarded from the wrapped tool
 
     def bind(self, main: str) -> "_HipWrapper":
@@ -55,7 +63,8 @@ class _HipWrapper:
 
     def analyze(self, program):
         assert self._main is not None
-        tool = HipTNTPlus(self._main, store=self._store)
+        tool = HipTNTPlus(self._main, store=self._store,
+                          backend=self._backend)
         try:
             return tool.analyze(program)
         finally:
@@ -68,14 +77,23 @@ _FIG10_TOOLS = ("AProVE-like", "ULTIMATE-like", "HIPTNT+")
 HIP_WARM = "HIPTNT+ (warm)"
 
 
-def _make_tool(name: str, main: str, store: Optional[str] = None):
+def hip_backend_label(backend: str) -> str:
+    """Row label of the extra HIPTNT+ sweep run with *backend*."""
+    return f"HIPTNT+ [{backend}]"
+
+
+def _make_tool(name: str, main: str, store: Optional[str] = None,
+               backend: Optional[str] = None):
     """A fresh analyzer instance for one (tool, program) task.
 
     Fresh per task (rather than shared across the sweep) so a task is
     self-contained and picklable for sharded execution; the analyzers are
-    stateless per run, so sequential results are unchanged.  *store*
-    only affects the HIPTNT+ rows -- the baselines have no summary
-    reuse to cache.
+    stateless per run, so sequential results are unchanged.  *store* and
+    *backend* only affect the HIPTNT+ rows -- the baselines have no
+    summary reuse to cache and no pluggable cube engine; the plain
+    ``HIPTNT+`` and warm rows always run the reference backend, so a
+    ``HIPTNT+ [<backend>]`` row has a same-table baseline to be compared
+    against.
     """
     if name == "AProVE-like":
         return AProVELikeAnalyzer()
@@ -85,6 +103,8 @@ def _make_tool(name: str, main: str, store: Optional[str] = None):
         return T2LikeAnalyzer()
     if name in ("HIPTNT+", HIP_WARM):
         return _HipWrapper(name, store=store).bind(main)
+    if backend is not None and name == hip_backend_label(backend):
+        return _HipWrapper(name, store=None, backend=backend).bind(main)
     raise KeyError(name)
 
 
@@ -94,6 +114,7 @@ def run_fig10(
     programs: Optional[List[BenchProgram]] = None,
     jobs: int = 1,
     store: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, Dict[str, List[BenchOutcome]]]:
     """All Fig. 10 outcomes: tool -> category -> outcome list.
 
@@ -107,10 +128,17 @@ def run_fig10(
     (warm)``) runs *after* the first completes -- its rows measure warm
     re-analysis against whatever the first sweep cached, the
     cold-vs-warm comparison of ``docs/store.md``.
+
+    With a *backend* name, an extra ``HIPTNT+ [<backend>]`` sweep runs
+    the same programs with that cube engine (never store-cached, so the
+    comparison is always against live solving).
     """
     corpus = programs if programs is not None else all_programs()
     in_scope = [b for b in corpus if b.category in categories]
-    tool_names = list(_FIG10_TOOLS) + ([HIP_WARM] if store else [])
+    backend_row = [hip_backend_label(backend)] if backend else []
+    tool_names = (
+        list(_FIG10_TOOLS) + backend_row + ([HIP_WARM] if store else [])
+    )
     results: Dict[str, Dict[str, List[BenchOutcome]]] = {
         name: {c: [] for c in categories} for name in tool_names
     }
@@ -120,13 +148,15 @@ def run_fig10(
         keys: List[tuple] = []
         for bench in in_scope:
             for name in names:
-                pairs.append((_make_tool(name, bench.main, store), bench))
+                pairs.append(
+                    (_make_tool(name, bench.main, store, backend), bench)
+                )
                 keys.append((name, bench.category))
         outcomes = run_tools_sharded(pairs, timeout=timeout, jobs=jobs)
         for (name, category), outcome in zip(keys, outcomes):
             results[name][category].append(outcome)
 
-    sweep(_FIG10_TOOLS)
+    sweep(list(_FIG10_TOOLS) + backend_row)
     if store:
         # The warm sweep must start only after every cold HIPTNT+ run has
         # written back, so it is a separate sharded batch.
@@ -140,11 +170,15 @@ def fig10_table(
     programs: Optional[List[BenchProgram]] = None,
     jobs: int = 1,
     store: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> str:
     """The Fig. 10 table as formatted text (plus, with *store*, a
-    ``HIPTNT+ (warm)`` row re-running against the populated store)."""
+    ``HIPTNT+ (warm)`` row re-running against the populated store, and
+    with *backend*, a ``HIPTNT+ [<backend>]`` row followed by a verdict
+    parity / wall-clock comparison footer)."""
     results = run_fig10(timeout=timeout, categories=categories,
-                        programs=programs, jobs=jobs, store=store)
+                        programs=programs, jobs=jobs, store=store,
+                        backend=backend)
     header = f"{'Tool':<16}"
     for c in categories:
         header += f"| {c:^26} "
@@ -173,7 +207,44 @@ def fig10_table(
         solver_line = _solver_summary(total)
         if solver_line:
             lines.append(solver_line)
+    if backend:
+        ref = [o for c in categories for o in results["HIPTNT+"][c]]
+        alt = [
+            o
+            for c in categories
+            for o in results[hip_backend_label(backend)][c]
+        ]
+        lines.append(_backend_comparison(ref, alt, backend))
     return "\n".join(lines)
+
+
+def _backend_comparison(
+    ref: List[BenchOutcome], alt: List[BenchOutcome], backend: str
+) -> str:
+    """Footer comparing a backend sweep against the reference sweep.
+
+    Verdicts are checked **program by program** (both sweeps run the
+    corpus in the same order), and the wall-clock ratio is reported as
+    the measured speedup -- or parity, when the corpus is too small for
+    the difference to mean anything.
+    """
+    diffs = [
+        r.program
+        for r, a in zip(ref, alt)
+        if r.program == a.program and r.verdict is not a.verdict
+    ]
+    rt = sum(o.seconds for o in ref if not o.timed_out)
+    at = sum(o.seconds for o in alt if not o.timed_out)
+    if diffs:
+        shown = ", ".join(diffs[:5]) + (", ..." if len(diffs) > 5 else "")
+        parity = f"verdicts DIFFER from reference on {len(diffs)}: {shown}"
+    else:
+        parity = f"verdicts identical to reference on all {len(alt)} programs"
+    ratio = rt / at if at > 0 else float("inf")
+    return (
+        f"  ↳ backend {backend}: {parity}; "
+        f"time {at:.1f}s vs reference {rt:.1f}s ({ratio:.2f}x)"
+    )
 
 
 def _solver_summary(outcomes: List[BenchOutcome]) -> str:
@@ -202,11 +273,13 @@ def run_fig11(
     programs: Optional[List[BenchProgram]] = None,
     jobs: int = 1,
     store: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[BenchOutcome]]:
     """Fig. 11 outcomes: loop-based integer programs, T2-like vs HIPTNT+.
 
     With a *store* directory a ``HIPTNT+ (warm)`` sweep is appended after
-    the cold one, exactly as in :func:`run_fig10`.
+    the cold one, and with a *backend* name a ``HIPTNT+ [<backend>]``
+    sweep runs alongside the cold one, exactly as in :func:`run_fig10`.
     """
     corpus = programs if programs is not None else all_programs()
     loop_programs = [
@@ -214,7 +287,10 @@ def run_fig11(
         for p in corpus
         if p.loop_based and p.category in ("crafted", "crafted-lit", "numeric")
     ]
-    tool_names = ["T2-like", "HIPTNT+"] + ([HIP_WARM] if store else [])
+    backend_row = [hip_backend_label(backend)] if backend else []
+    tool_names = (
+        ["T2-like", "HIPTNT+"] + backend_row + ([HIP_WARM] if store else [])
+    )
     results: Dict[str, List[BenchOutcome]] = {n: [] for n in tool_names}
 
     def sweep(names: Sequence[str]) -> None:
@@ -222,13 +298,15 @@ def run_fig11(
         keys: List[str] = []
         for bench in loop_programs:
             for name in names:
-                pairs.append((_make_tool(name, bench.main, store), bench))
+                pairs.append(
+                    (_make_tool(name, bench.main, store, backend), bench)
+                )
                 keys.append(name)
         outcomes = run_tools_sharded(pairs, timeout=timeout, jobs=jobs)
         for name, outcome in zip(keys, outcomes):
             results[name].append(outcome)
 
-    sweep(["T2-like", "HIPTNT+"])
+    sweep(["T2-like", "HIPTNT+"] + backend_row)
     if store:
         sweep([HIP_WARM])
     return results
@@ -239,11 +317,13 @@ def fig11_table(
     programs: Optional[List[BenchProgram]] = None,
     jobs: int = 1,
     store: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> str:
     """The Fig. 11 table as formatted text (plus, with *store*, a
-    ``HIPTNT+ (warm)`` row)."""
+    ``HIPTNT+ (warm)`` row, and with *backend*, a ``HIPTNT+ [<backend>]``
+    row followed by a verdict parity / wall-clock comparison footer)."""
     results = run_fig11(timeout=timeout, programs=programs, jobs=jobs,
-                        store=store)
+                        store=store, backend=backend)
     lines = [
         f"{'Tool':<16}{'Total':>6}{'Y':>5}{'N':>5}{'U':>5}{'T/O':>5}{'Time':>8}"
     ]
@@ -256,4 +336,12 @@ def fig11_table(
         solver_line = _solver_summary(outcomes)
         if solver_line:
             lines.append(solver_line)
+    if backend:
+        lines.append(
+            _backend_comparison(
+                results["HIPTNT+"],
+                results[hip_backend_label(backend)],
+                backend,
+            )
+        )
     return "\n".join(lines)

@@ -194,6 +194,7 @@ def infer_program(
     solver_ctx: Optional[SolverContext] = None,
     jobs: int = 1,
     store: StoreArg = None,
+    backend: Optional[str] = None,
 ) -> InferenceResult:
     """Infer termination/non-termination summaries for every method.
 
@@ -235,6 +236,14 @@ def infer_program(
         (atomic rename, safe under ``jobs=N``).  Lookups are accounted
         in ``solver_stats`` (``store_hits`` / ``store_misses`` /
         ``store_invalidations``).
+    backend:
+        Decision-procedure backend name for every per-SCC solver context
+        (``"reference"``, ``"matrix"``, ``"z3"``, ``"differential"``;
+        see :mod:`repro.arith.backends`).  ``None`` keeps the default
+        (``$REPRO_SOLVER_BACKEND`` or the reference engine).  Ignored
+        when a caller-owned *solver_ctx* is supplied -- that context's
+        backend wins.  Threads through worker processes under
+        ``jobs > 1``, like *store*.
 
     Returns
     -------
@@ -255,7 +264,7 @@ def infer_program(
 
         return infer_program_parallel(
             program, jobs=jobs, max_iter=max_iter, desugared=desugared,
-            time_budget=time_budget, store=store,
+            time_budget=time_budget, store=store, backend=backend,
         )
 
     from repro.seplog.abstraction import abstract_program  # local: optional dep
@@ -266,7 +275,7 @@ def infer_program(
     def group_ctx() -> SolverContext:
         if solver_ctx is not None:
             return solver_ctx
-        return SolverContext(stats=stats)
+        return SolverContext(stats=stats, backend=backend)
 
     if not desugared:
         program = desugar_program(program)
@@ -310,13 +319,14 @@ def infer_program(
 
 def infer_source(
     source: str, max_iter: int = 8, time_budget: float = 30.0,
-    jobs: int = 1, store: StoreArg = None,
+    jobs: int = 1, store: StoreArg = None, backend: Optional[str] = None,
 ) -> InferenceResult:
     """Parse, desugar and infer a program given as concrete syntax.
 
-    ``jobs`` and ``store`` are forwarded to :func:`infer_program`
-    unchanged (parallel SCC analysis; persistent summary cache)."""
+    ``jobs``, ``store`` and ``backend`` are forwarded to
+    :func:`infer_program` unchanged (parallel SCC analysis; persistent
+    summary cache; decision-procedure backend)."""
     return infer_program(
         parse_program(source), max_iter=max_iter, time_budget=time_budget,
-        jobs=jobs, store=store,
+        jobs=jobs, store=store, backend=backend,
     )

@@ -69,11 +69,15 @@ def _init_worker(
     max_iter: int,
     time_budget: float,
     store_root: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> None:
     _WORKER_STATE["program"] = program
     _WORKER_STATE["max_iter"] = max_iter
     _WORKER_STATE["time_budget"] = time_budget
     _WORKER_STATE["store_root"] = store_root
+    # The backend travels as its registry *name* (plain string, always
+    # picklable); each worker resolves it to its own singleton instance.
+    _WORKER_STATE["backend"] = backend
 
 
 def _analyze_scc_task(
@@ -101,7 +105,7 @@ def _analyze_scc_task(
     max_iter = _WORKER_STATE["max_iter"]
     time_budget = _WORKER_STATE["time_budget"]
     stats = SolverStats()
-    ctx = SolverContext(stats=stats)
+    ctx = SolverContext(stats=stats, backend=_WORKER_STATE.get("backend"))
     store = DefStore()
     specs = analyze_scc_group(
         program, scc, callee_specs, store, max_iter, time_budget, ctx
@@ -149,6 +153,7 @@ def infer_program_parallel(
     desugared: bool = False,
     time_budget: float = 30.0,
     store=None,
+    backend: Optional[str] = None,
 ) -> "InferenceResult":
     """Parallel counterpart of :func:`repro.core.pipeline.infer_program`.
 
@@ -176,6 +181,12 @@ def infer_program_parallel(
     ``store``: per-SCC contexts and definition stores live and die in the
     workers, and summaries are flattened to case form before they travel.
     Callers that walk ``result.store`` must use the sequential path.
+
+    *backend* is a decision-procedure backend **name** (see
+    :mod:`repro.arith.backends`); it crosses the process boundary as a
+    plain string in the pool initializer (like the store root) and every
+    worker resolves it to its own instance -- backend objects themselves
+    never travel.
     """
     from repro.core.pipeline import InferenceResult, lookup_cached_specs
     from repro.seplog.abstraction import abstract_program
@@ -187,7 +198,9 @@ def infer_program_parallel(
     stats = SolverStats()
     if not desugared:
         program = desugar_program(program)
-    program = abstract_program(program, ctx=SolverContext(stats=stats))
+    program = abstract_program(
+        program, ctx=SolverContext(stats=stats, backend=backend)
+    )
 
     spec_store = as_store(store)
     sccs, deps = scc_dependencies(program)
@@ -213,6 +226,7 @@ def infer_program_parallel(
         initargs=(
             program, max_iter, time_budget,
             str(spec_store.root) if spec_store is not None else None,
+            backend,
         ),
     ) as pool:
         remaining: List[Set[int]] = [set(d) for d in deps]

