@@ -1,0 +1,516 @@
+"""Intraprocedural abstract interpretation over the interval domain.
+
+The engine walks a *source* (pre-desugar) method body, tracking one
+:class:`~repro.analysis.intervals.Interval` per integer variable.  At
+every ``While`` head it computes an inductive invariant by fixpoint
+iteration with widening (:func:`~repro.analysis.intervals.widen` after
+``WIDEN_AFTER`` precise joins), records it keyed by ``id(node)`` --
+object identity survives desugaring, so
+:class:`repro.lang.desugar.LoopOrigin` can map the invariant onto the
+extracted loop method -- and flags loops/branches whose guard is
+*definitely* false (dead code).
+
+Soundness contract: the abstract state over-approximates every concrete
+environment reachable under **both** runtime semantics in the repo --
+the reference interpreter (:mod:`repro.lang.interp`) and the verifier's
+relational semantics.  Anything either semantics leaves unconstrained
+(``nondet()``, call results, heap reads, havoc, uninitialised
+declarations, by-ref arguments after a call) evaluates to ``TOP``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from math import ceil, floor
+from typing import Dict, List, Optional, Set
+
+from repro.analysis import intervals as iv
+from repro.analysis.intervals import Interval, TOP
+from repro.arith.formula import And, Atom, BoolConst, Formula, Or
+from repro.lang.ast import (
+    Assign,
+    Assume,
+    Binary,
+    BoolLit,
+    CallExpr,
+    CallStmt,
+    Expr,
+    FieldRead,
+    FieldWrite,
+    Havoc,
+    If,
+    IntLit,
+    Method,
+    NewExpr,
+    Nondet,
+    NullLit,
+    Program,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    Unary,
+    Var,
+    VarDecl,
+    While,
+    expr_calls,
+)
+from repro.lang.to_arith import PurityError, expr_to_linexpr
+
+#: Precise joins at a loop head before widening kicks in.
+WIDEN_AFTER = 2
+
+#: Fixpoint-iteration hard cap (defence in depth -- widening alone
+#: guarantees termination, this bounds pathological states).
+MAX_ITERATIONS = 64
+
+# A state maps variable names to non-TOP intervals (TOP entries are
+# dropped, missing = TOP); ``None`` is the bottom state (unreachable).
+State = Optional[Dict[str, Interval]]
+
+
+def state_join(a: State, b: State) -> State:
+    if a is None:
+        return None if b is None else dict(b)
+    if b is None:
+        return dict(a)
+    out: Dict[str, Interval] = {}
+    for name in a.keys() & b.keys():
+        j = iv.join(a[name], b[name])
+        if not j.is_top():
+            out[name] = j
+    return out
+
+def state_widen(old: Dict[str, Interval], new: Dict[str, Interval]) -> Dict[str, Interval]:
+    out: Dict[str, Interval] = {}
+    for name in old.keys() & new.keys():
+        w = iv.widen(old[name], new[name])
+        if not w.is_top():
+            out[name] = w
+    return out
+
+
+def state_leq(a: State, b: State) -> bool:
+    """Whether *a* is at or below *b* in the pointwise order."""
+    if a is None:
+        return True
+    if b is None:
+        return False
+    return all(name in a and iv.leq(a[name], bound) for name, bound in b.items())
+
+
+@dataclass
+class MethodFacts:
+    """Everything the pre-analysis learned about one method."""
+
+    method: str
+    #: ``id(While node) -> head invariant`` (non-TOP entries only).  The
+    #: invariant holds at *every* visit of the loop head -- entry and
+    #: each re-entry after the body -- so it is a valid contract for the
+    #: desugared loop method's initial and recursive calls alike.
+    head_invariants: Dict[int, Dict[str, Interval]] = field(default_factory=dict)
+    #: ``While`` nodes whose guard is definitely false on first reach
+    #: (zero iterations) -- safe to prune pre-desugar.
+    dead_whiles: Set[int] = field(default_factory=set)
+    #: ``If`` nodes whose then / else branch can never run.
+    dead_then: Set[int] = field(default_factory=set)
+    dead_else: Set[int] = field(default_factory=set)
+    #: Statements proven unreachable (for diagnostics; positions on the
+    #: nodes themselves).
+    dead_stmts: List[Stmt] = field(default_factory=list)
+    #: Abstract state at the (joined) method exit, ``None`` when no exit
+    #: is reachable.
+    exit_state: State = None
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def eval_expr(e: Expr, st: Dict[str, Interval]) -> Interval:
+    if isinstance(e, IntLit):
+        return iv.const(e.value)
+    if isinstance(e, BoolLit):
+        return iv.const(1 if e.value else 0)
+    if isinstance(e, Var):
+        return st.get(e.name, TOP)
+    if isinstance(e, Unary):
+        if e.op == "-":
+            return iv.negate(eval_expr(e.arg, st))
+        if e.op == "!":
+            t = eval_cond(e.arg, st)
+            return iv.const(0 if t else 1) if t is not None else Interval(0, 1)
+        return TOP
+    if isinstance(e, Binary):
+        if e.op == "+":
+            return iv.add(eval_expr(e.left, st), eval_expr(e.right, st))
+        if e.op == "-":
+            return iv.sub(eval_expr(e.left, st), eval_expr(e.right, st))
+        if e.op == "*":
+            return iv.mul(eval_expr(e.left, st), eval_expr(e.right, st))
+        # comparisons / boolean connectives: 0-or-1 valued
+        t = eval_cond(e, st)
+        return iv.const(1 if t else 0) if t is not None else Interval(0, 1)
+    # Nondet, CallExpr, FieldRead, NewExpr, NullLit: unconstrained
+    return TOP
+
+
+_CMP_SWAP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+def eval_cond(e: Expr, st: Dict[str, Interval]) -> Optional[bool]:
+    """Three-valued truth of a condition: True / False / None (unknown).
+
+    Only claims definiteness when every relevant sub-expression is free
+    of unknown effects; anything involving calls, heap or ``nondet()``
+    evaluates to TOP intervals and therefore stays unknown.
+    """
+    if isinstance(e, BoolLit):
+        return e.value
+    if isinstance(e, Unary) and e.op == "!":
+        t = eval_cond(e.arg, st)
+        return None if t is None else (not t)
+    if isinstance(e, Binary):
+        if e.op == "&&":
+            l, r = eval_cond(e.left, st), eval_cond(e.right, st)
+            if l is False or r is False:
+                return False
+            if l is True and r is True:
+                return True
+            return None
+        if e.op == "||":
+            l, r = eval_cond(e.left, st), eval_cond(e.right, st)
+            if l is True or r is True:
+                return True
+            if l is False and r is False:
+                return False
+            return None
+        if e.op in ("<", "<=", ">", ">=", "==", "!="):
+            a = eval_expr(e.left, st)
+            b = eval_expr(e.right, st)
+            if e.op in (">", ">="):
+                a, b = b, a
+                op = _CMP_SWAP[e.op]
+            else:
+                op = e.op
+            if op == "<":
+                if a.hi is not None and b.lo is not None and a.hi < b.lo:
+                    return True
+                if a.lo is not None and b.hi is not None and a.lo >= b.hi:
+                    return False
+                return None
+            if op == "<=":
+                if a.hi is not None and b.lo is not None and a.hi <= b.lo:
+                    return True
+                if a.lo is not None and b.hi is not None and a.lo > b.hi:
+                    return False
+                return None
+            if op == "==":
+                if a.is_const() and b.is_const():
+                    return a.lo == b.lo
+                if iv.meet(a, b) is None:
+                    return False
+                return None
+            if op == "!=":
+                if a.is_const() and b.is_const():
+                    return a.lo != b.lo
+                if iv.meet(a, b) is None:
+                    return True
+                return None
+    if isinstance(e, Var):
+        bound = st.get(e.name, TOP)
+        if bound.is_const():
+            return bound.lo != 0
+        if not bound.contains(0):
+            return True
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Refinement by conditions / formulas
+# ---------------------------------------------------------------------------
+
+
+def _refine_le(st: Dict[str, Interval], expr, strict_margin: int = 0) -> State:
+    """Meet *st* with the constraint ``expr <= -strict_margin`` for a
+    linear *expr* with integer coefficients (Fractions bail out)."""
+    coeffs = expr.coeffs
+    if any(c.denominator != 1 for c in coeffs.values()):
+        return st
+    if expr.constant.denominator != 1:
+        return st
+    out = dict(st)
+    for name, c in coeffs.items():
+        c = int(c)
+        if c == 0:
+            continue
+        # c*v <= -margin - (rest), rest = expr - c*v - const over the others
+        rest_lo: Optional[int] = int(expr.constant)
+        for other, oc in coeffs.items():
+            if other == name:
+                continue
+            contrib = iv.scale(out.get(other, TOP), int(oc))
+            rest_lo = None if rest_lo is None or contrib.lo is None else rest_lo + contrib.lo
+        if rest_lo is None:
+            continue  # no usable bound from the other terms
+        bound = Fraction(-strict_margin - rest_lo, c)
+        if c > 0:
+            narrowed = iv.meet(out.get(name, TOP), iv.at_most(floor(bound)))
+        else:
+            narrowed = iv.meet(out.get(name, TOP), iv.at_least(ceil(bound)))
+        if narrowed is None:
+            return None
+        if narrowed.is_top():
+            out.pop(name, None)
+        else:
+            out[name] = narrowed
+    return out
+
+
+def _refine_linear(st: Dict[str, Interval], expr, rel: str) -> State:
+    """Meet *st* with ``expr rel 0`` (``rel`` one of ``<= < == >= >``)."""
+    if rel == "<=":
+        return _refine_le(st, expr)
+    if rel == "<":
+        return _refine_le(st, expr, strict_margin=1)
+    if rel == ">=":
+        return _refine_le(st, -expr)
+    if rel == ">":
+        return _refine_le(st, -expr, strict_margin=1)
+    if rel == "==":
+        out = _refine_le(st, expr)
+        if out is None:
+            return None
+        return _refine_le(out, -expr)
+    return st
+
+
+def refine(st: State, e: Expr, want: bool) -> State:
+    """Refine *st* under the assumption that *e* evaluates to *want*."""
+    if st is None:
+        return None
+    if isinstance(e, BoolLit):
+        return st if e.value is want else None
+    if isinstance(e, Unary) and e.op == "!":
+        return refine(st, e.arg, not want)
+    if isinstance(e, Binary):
+        if (e.op == "&&" and want) or (e.op == "||" and not want):
+            return refine(refine(st, e.left, want), e.right, want)
+        if e.op in ("&&", "||"):
+            # disjunctive split: join of both refined branches
+            return state_join(refine(st, e.left, want), refine(st, e.right, want))
+        if e.op in ("<", "<=", ">", ">=", "==", "!="):
+            try:
+                d = expr_to_linexpr(e.left) - expr_to_linexpr(e.right)
+            except PurityError:
+                return st
+            op = e.op
+            if not want:
+                op = {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
+                      "==": "!=", "!=": "=="}[op]
+            if op == "!=":
+                return st  # disjunction of strict sides: no single meet
+            return _refine_linear(st, d, op)
+    if isinstance(e, Var):
+        bound = st.get(e.name, TOP)
+        if not want:
+            narrowed = iv.meet(bound, iv.const(0))
+            if narrowed is None:
+                return None
+            return {**st, e.name: narrowed}
+        if bound.is_const() and bound.lo == 0:
+            return None
+        return st
+    return st
+
+
+def refine_formula(st: State, f: Formula) -> State:
+    """Refine *st* by an arithmetic formula (``requires`` contracts).
+
+    Handles the conjunctive ``Atom``/``And`` fragment plus ``Or`` by
+    join; everything else (``Not``, ``Exists``) is skipped -- refinement
+    may only *shrink* states, so skipping is always sound.
+    """
+    if st is None or f is None:
+        return st
+    if isinstance(f, BoolConst):
+        return st if f.value else None
+    if isinstance(f, Atom):
+        rel = {"<=": "<=", "==": "==", "<": "<"}[f.rel.value]
+        return _refine_linear(st, f.expr, rel)
+    if isinstance(f, And):
+        for arg in f.args:
+            st = refine_formula(st, arg)
+            if st is None:
+                return None
+        return st
+    if isinstance(f, Or):
+        parts = [refine_formula(dict(st), arg) for arg in f.args]
+        out: State = None
+        for p in parts:
+            out = state_join(out, p)
+        return out
+    return st
+
+
+# ---------------------------------------------------------------------------
+# Statement transfer + loop fixpoints
+# ---------------------------------------------------------------------------
+
+
+class _Analyzer:
+    def __init__(self, program: Program, facts: MethodFacts):
+        self.program = program
+        self.facts = facts
+
+    # Call effects: result values are TOP (handled in eval_expr); by-ref
+    # arguments of known callees are clobbered, every Var argument of an
+    # *unknown* callee conservatively so.
+    def _havoc_call_effects(self, st: Dict[str, Interval], e: Expr) -> None:
+        for call in expr_calls(e):
+            self._havoc_one_call(st, call.name, call.args)
+
+    def _havoc_one_call(self, st, name: str, args) -> None:
+        callee = self.program.methods.get(name)
+        if callee is None:
+            for a in args:
+                if isinstance(a, Var):
+                    st.pop(a.name, None)
+            return
+        for p, a in zip(callee.params, args):
+            if p.by_ref and isinstance(a, Var):
+                st.pop(a.name, None)
+
+    def transfer(self, s: Stmt, st: State, record: bool = True) -> State:
+        if st is None:
+            if record:
+                self.facts.dead_stmts.append(s)
+            return None
+        if isinstance(s, Skip):
+            return st
+        if isinstance(s, Seq):
+            for t in s.stmts:
+                st = self.transfer(t, st, record)
+            return st
+        if isinstance(s, VarDecl):
+            st = dict(st)
+            if s.init is None:
+                # The interpreter zero-initialises, the verifier leaves
+                # the cell unconstrained: TOP covers both.
+                st.pop(s.name, None)
+            else:
+                self._havoc_call_effects(st, s.init)
+                value = eval_expr(s.init, st)
+                if value.is_top():
+                    st.pop(s.name, None)
+                else:
+                    st[s.name] = value
+            return st
+        if isinstance(s, Assign):
+            st = dict(st)
+            self._havoc_call_effects(st, s.value)
+            value = eval_expr(s.value, st)
+            if value.is_top():
+                st.pop(s.name, None)
+            else:
+                st[s.name] = value
+            return st
+        if isinstance(s, Havoc):
+            st = dict(st)
+            for name in s.names:
+                st.pop(name, None)
+            return st
+        if isinstance(s, CallStmt):
+            st = dict(st)
+            for a in s.args:
+                self._havoc_call_effects(st, a)
+            self._havoc_one_call(st, s.name, s.args)
+            return st
+        if isinstance(s, FieldWrite):
+            st = dict(st)
+            self._havoc_call_effects(st, s.value)
+            return st  # heap cells are outside the domain
+        if isinstance(s, Assume):
+            return refine(st, s.cond, True)
+        if isinstance(s, Return):
+            if s.value is not None:
+                st = dict(st)
+                self._havoc_call_effects(st, s.value)
+            self.facts.exit_state = state_join(self.facts.exit_state, st)
+            return None
+        if isinstance(s, If):
+            st = dict(st)
+            self._havoc_call_effects(st, s.cond)
+            truth = eval_cond(s.cond, st)
+            then_in = refine(st, s.cond, True) if truth is not False else None
+            els_in = refine(st, s.cond, False) if truth is not True else None
+            if record and truth is True:
+                self.facts.dead_else.add(id(s))
+            if record and truth is False:
+                self.facts.dead_then.add(id(s))
+            then_out = self.transfer(s.then, then_in, record)
+            els_out = self.transfer(s.els, els_in, record)
+            return state_join(then_out, els_out)
+        if isinstance(s, While):
+            return self._transfer_while(s, st, record)
+        raise TypeError(f"unknown statement {type(s).__name__}")
+
+    def _transfer_while(self, s: While, st: State, record: bool) -> State:
+        entry = dict(st)
+        self._havoc_call_effects(entry, s.cond)
+        if record and eval_cond(s.cond, entry) is False:
+            self.facts.dead_whiles.add(id(s))
+        head: State = entry
+        joins = 0
+        for _ in range(MAX_ITERATIONS):
+            body_in = refine(head, s.cond, True)
+            body_out = self.transfer(s.body, body_in, record=False)
+            if body_out is not None:
+                # condition re-evaluation at the next head visit may
+                # itself clobber by-ref vars
+                body_out = dict(body_out)
+                self._havoc_call_effects(body_out, s.cond)
+            new_head = state_join(head, body_out)
+            if state_leq(new_head, head):
+                break
+            if joins >= WIDEN_AFTER:
+                head = state_widen(head, new_head)
+            else:
+                head = new_head
+            joins += 1
+        else:  # pragma: no cover - widening converges long before the cap
+            head = {}
+        assert head is not None
+        if head:
+            self.facts.head_invariants[id(s)] = dict(head)
+        # One recorded pass over the body with the stabilised invariant:
+        # dead-code verdicts from pre-fixpoint states would be unsound.
+        if record:
+            self.transfer(s.body, refine(head, s.cond, True), record=True)
+        return refine(head, s.cond, False)
+
+
+def initial_state(method: Method) -> Dict[str, Interval]:
+    """Parameters are unconstrained, then refined by ``requires``."""
+    st: State = {}
+    if method.requires is not None:
+        st = refine_formula(st, method.requires)
+    if st is None:
+        # Contradictory requires: no admissible input.  Keep analyzing
+        # from TOP -- the pipeline will discover the vacuity itself.
+        st = {}
+    return st
+
+
+def analyze_method(method: Method, program: Program) -> MethodFacts:
+    """Run the interval analysis over one method body."""
+    facts = MethodFacts(method=method.name)
+    if method.body is None:
+        return facts
+    analyzer = _Analyzer(program, facts)
+    out = analyzer.transfer(method.body, initial_state(method), record=True)
+    facts.exit_state = state_join(facts.exit_state, out)
+    return facts

@@ -1,0 +1,256 @@
+"""Differential self-check for the pre-analysis (``--check-preanalysis``).
+
+The quick verdicts, contract seeding and pruning of
+:mod:`repro.analysis.prefacts` are *claimed* sound; this module makes
+the claim empirically checkable, following the repo's differential
+pattern for solver backends (``backend="differential"``): run the full
+inference twice -- with and without pre-analysis -- and compare every
+source method's Y/N/U verdict.  Any difference raises
+:class:`PreAnalysisDivergence` carrying both verdicts and a greedily
+minimized program reproducer, so a soundness bug becomes a small failing
+test case instead of a silently wrong benchmark row.
+
+Deliberately *not* routed through the bench harness's ``run_tool`` --
+that wrapper converts exceptions into UNKNOWN rows, which would swallow
+exactly the signal this check exists to surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lang.ast import Program
+from repro.lang.pretty import pretty_program
+
+
+class PreAnalysisDivergence(Exception):
+    """Pre-analysis and full pipeline disagree on a method's verdict."""
+
+    def __init__(
+        self,
+        method: str,
+        with_pre: str,
+        without_pre: str,
+        reproducer: str,
+        program_name: Optional[str] = None,
+    ):
+        self.method = method
+        self.with_pre = with_pre
+        self.without_pre = without_pre
+        self.reproducer = reproducer
+        self.program_name = program_name
+        where = f" in benchmark {program_name!r}" if program_name else ""
+        super().__init__(
+            f"pre-analysis verdict divergence{where}: method {method!r} "
+            f"is {with_pre} with pre-analysis but {without_pre} without.\n"
+            f"Minimized reproducer:\n{reproducer}"
+        )
+
+
+def _source_method_names(program: Program) -> List[str]:
+    return [
+        name
+        for name, m in program.methods.items()
+        if m.body is not None and not m.source_loop
+    ]
+
+
+def _verdicts(
+    program: Program, preanalysis: bool, kwargs: dict
+) -> Optional[Dict[str, str]]:
+    """Per-source-method verdict strings for one pipeline configuration.
+
+    ``None`` signals resource exhaustion (a DNF explosion inside the
+    solver): the configuration produced no verdicts at all.  Such runs
+    are *incomparable*, not divergent -- the same pre-existing blowup
+    fires with or without pre-analysis on the affected programs, and a
+    run that happens to dodge it (e.g. a quick verdict skipping the
+    exploding SCC) has nothing on the other side to compare against.
+    """
+    from repro.core.pipeline import infer_program  # local: avoid cycle
+
+    try:
+        result = infer_program(program, preanalysis=preanalysis, **kwargs)
+    except MemoryError:
+        return None
+    names = set(_source_method_names(program))
+    return {
+        name: str(result.verdict(name))
+        for name in result.specs
+        if name in names
+    }
+
+
+def _compare(program: Program, kwargs: dict):
+    """Differential comparison of one program under both configurations.
+
+    Returns ``(conflicts, refinements)`` -- or ``None`` when at least one
+    side exhausted resources (incomparable).  A *conflict* is a method
+    where both configurations commit to a definite verdict and they
+    disagree (``Y`` vs ``N``): one of them is wrong, always a bug.  A
+    *refinement* is a method where exactly one side answers ``U``:
+    expected by design (seeded invariants and quick certificates prove
+    loops the linear-template search cannot), so it is not a divergence
+    per se -- but :func:`check_corpus` still validates definite
+    pre-analysis refinements against benchmark ground truth.
+    """
+    with_pre = _verdicts(program, True, kwargs)
+    without = _verdicts(program, False, kwargs)
+    if with_pre is None or without is None:
+        return None
+    conflicts = []
+    refinements = []
+    for name in sorted(set(with_pre) & set(without)):
+        a, b = with_pre[name], without[name]
+        if a == b:
+            continue
+        if "U" in (a, b):
+            refinements.append((name, a, b))
+        else:
+            conflicts.append((name, a, b))
+    return conflicts, refinements
+
+
+def _still_diverges(program: Program, method: str, kwargs: dict) -> bool:
+    try:
+        found = _compare(program, kwargs)
+    except Exception:
+        # Dropping a method can make the candidate invalid (unknown
+        # callee) -- that candidate does not reproduce the divergence.
+        return False
+    if found is None:
+        return False
+    conflicts, _refinements = found
+    return any(name == method for name, _, _ in conflicts)
+
+
+def _minimize(program: Program, method: str, kwargs: dict) -> Program:
+    """Greedily drop methods while the divergence on *method* persists."""
+    current = program
+    changed = True
+    while changed:
+        changed = False
+        for name in list(current.methods):
+            if name == method or len(current.methods) == 1:
+                continue
+            candidate = Program(
+                data_decls=dict(current.data_decls),
+                methods={
+                    n: m for n, m in current.methods.items() if n != name
+                },
+            )
+            if _still_diverges(candidate, method, kwargs):
+                current = candidate
+                changed = True
+    return current
+
+
+def checked_infer(
+    program: Program,
+    max_iter: int = 8,
+    desugared: bool = False,
+    time_budget: float = 30.0,
+    solver_ctx=None,
+    jobs: int = 1,
+    store=None,
+    backend: Optional[str] = None,
+    validate: bool = True,
+    program_name: Optional[str] = None,
+):
+    """Infer with pre-analysis, cross-checked against the plain pipeline.
+
+    Raises :class:`PreAnalysisDivergence` (with a minimized reproducer)
+    when the two configurations commit to *conflicting definite*
+    verdicts (``Y`` vs ``N``) for any source method; otherwise returns
+    the pre-analysis :class:`~repro.core.pipeline.InferenceResult`.
+    ``U``-vs-definite refinements are by design (see :func:`_compare`)
+    and pass here; :func:`check_corpus` additionally holds them against
+    benchmark ground truth.  Parameters mirror
+    :func:`repro.core.pipeline.infer_program`.
+    """
+    from repro.core.pipeline import infer_program  # local: avoid cycle
+
+    kwargs = dict(
+        max_iter=max_iter, desugared=desugared, time_budget=time_budget,
+        solver_ctx=solver_ctx, jobs=jobs, store=store, backend=backend,
+        validate=validate,
+    )
+    found = _compare(program, kwargs)
+    if found is not None and found[0]:
+        method, with_pre, without = found[0][0]
+        minimized = _minimize(program, method, kwargs)
+        raise PreAnalysisDivergence(
+            method, with_pre, without, pretty_program(minimized),
+            program_name=program_name,
+        )
+    return infer_program(program, preanalysis=True, **kwargs)
+
+
+def check_corpus(
+    programs=None,
+    category: Optional[str] = None,
+    max_iter: int = 8,
+    time_budget: float = 10.0,
+    jobs: int = 1,
+    raise_on_divergence: bool = False,
+) -> List[PreAnalysisDivergence]:
+    """Run the differential check over the benchmark corpus.
+
+    *programs* defaults to every registered
+    :class:`repro.bench.programs.BenchProgram` (optionally filtered by
+    *category*).  Two kinds of finding count as a divergence:
+
+    * a *conflict* -- both configurations definite, different answers;
+    * a definite pre-analysis verdict on the benchmark's entry method
+      where the plain pipeline said ``U`` and the definite answer
+      contradicts the benchmark's recorded ground truth (a refinement
+      is only acceptable when it refines towards the *right* answer).
+
+    Returns the list of divergences found -- empty means the
+    pre-analysis agreed with (or soundly refined) the full pipeline
+    everywhere.  With ``raise_on_divergence`` the first divergence
+    propagates instead.  Programs on which either configuration
+    exhausts solver resources (a pre-existing DNF blowup the bench
+    harness reports as UNKNOWN) are incomparable and skipped.
+    """
+    if programs is None:
+        from repro.bench.programs import all_programs  # local: avoid cycle
+
+        programs = all_programs(category)
+    divergences: List[PreAnalysisDivergence] = []
+
+    def report(exc: PreAnalysisDivergence) -> None:
+        if raise_on_divergence:
+            raise exc
+        divergences.append(exc)
+
+    for bench in programs:
+        program = bench.program()
+        kwargs = dict(
+            max_iter=max_iter, desugared=False, time_budget=time_budget,
+            solver_ctx=None, jobs=jobs, store=None, backend=None,
+            validate=True,
+        )
+        found = _compare(program, kwargs)
+        if found is None:
+            continue
+        conflicts, refinements = found
+        if conflicts:
+            method, with_pre, without = conflicts[0]
+            minimized = _minimize(program, method, kwargs)
+            report(PreAnalysisDivergence(
+                method, with_pre, without, pretty_program(minimized),
+                program_name=bench.name,
+            ))
+            continue
+        for method, with_pre, without in refinements:
+            if method != bench.main or with_pre == "U":
+                continue
+            if with_pre != str(bench.expected):
+                report(PreAnalysisDivergence(
+                    method, with_pre,
+                    f"{without} (ground truth {bench.expected})",
+                    pretty_program(program),
+                    program_name=bench.name,
+                ))
+    return divergences

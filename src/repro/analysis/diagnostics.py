@@ -1,0 +1,68 @@
+"""Structured diagnostics for the validator and pre-analysis.
+
+A :class:`Diagnostic` carries a stable machine-readable code, a severity,
+the method it was found in and -- when the AST node came from the parser
+-- a source position, so frontends (ROADMAP items 3-4) can map findings
+back onto user source instead of receiving internal errors from the
+verifier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.lang.ast import Pos
+
+
+class Severity(enum.Enum):
+    ERROR = "error"      # the pipeline would misbehave: refuse to analyze
+    WARNING = "warning"  # suspicious but well-defined: analyze anyway
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validator finding."""
+
+    severity: Severity
+    code: str                    # stable slug, e.g. "unknown-callee"
+    message: str
+    method: Optional[str] = None  # enclosing method, if any
+    pos: Pos = None
+
+    def render(self) -> str:
+        where = ""
+        if self.pos is not None:
+            where = f"line {self.pos[0]}, col {self.pos[1]}: "
+        scope = f" [in {self.method}]" if self.method else ""
+        return f"{self.severity}: {where}{self.message}{scope} ({self.code})"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class ProgramInvalid(Exception):
+    """Raised by pipeline entry points when validation finds errors.
+
+    Carries the full diagnostic list; the message renders every error so
+    a CLI user sees all findings at once.
+    """
+
+    def __init__(self, diagnostics: List[Diagnostic]):
+        self.diagnostics = diagnostics
+        errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+        lines = [f"program failed validation with {len(errors)} error(s):"]
+        lines += [f"  {d.render()}" for d in diagnostics]
+        super().__init__("\n".join(lines))
+
+
+def errors(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diagnostics if d.severity is Severity.ERROR]
+
+
+def warnings(diagnostics: List[Diagnostic]) -> List[Diagnostic]:
+    return [d for d in diagnostics if d.severity is Severity.WARNING]

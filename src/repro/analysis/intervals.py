@@ -1,0 +1,172 @@
+"""The integer interval domain ``[lo, hi]`` with ``None`` as infinity.
+
+The classic lattice for constant/range reasoning: join is hull, meet is
+intersection (possibly empty -- represented as ``None`` at the *state*
+level, this module's :func:`meet` returns ``None`` for the empty
+interval), and :func:`widen` jumps unstable bounds to infinity so loop
+fixpoints converge in finitely many steps.  All arithmetic is exact
+``int`` -- no floats, no overflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+Bound = Optional[int]  # None encodes the missing (infinite) bound
+
+
+@dataclass(frozen=True)
+class Interval:
+    """``lo <= v <= hi`` with ``None`` for an absent bound.
+
+    Invariant: when both bounds are present, ``lo <= hi`` (the empty
+    interval is never constructed; operations that could produce it
+    return ``None`` instead).
+    """
+
+    lo: Bound = None
+    hi: Bound = None
+
+    def __post_init__(self) -> None:
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            raise ValueError(f"empty interval [{self.lo}, {self.hi}]")
+
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    def is_const(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def contains(self, k: int) -> bool:
+        if self.lo is not None and k < self.lo:
+            return False
+        if self.hi is not None and k > self.hi:
+            return False
+        return True
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+
+TOP = Interval(None, None)
+
+
+def const(k: int) -> Interval:
+    return Interval(k, k)
+
+
+def at_least(k: int) -> Interval:
+    return Interval(k, None)
+
+
+def at_most(k: int) -> Interval:
+    return Interval(None, k)
+
+
+# -- lattice ----------------------------------------------------------------
+
+
+def join(a: Interval, b: Interval) -> Interval:
+    lo = None if a.lo is None or b.lo is None else min(a.lo, b.lo)
+    hi = None if a.hi is None or b.hi is None else max(a.hi, b.hi)
+    return Interval(lo, hi)
+
+
+def meet(a: Interval, b: Interval) -> Optional[Interval]:
+    """Intersection; ``None`` when empty (caller marks the state bottom)."""
+    lo = a.lo if b.lo is None else (b.lo if a.lo is None else max(a.lo, b.lo))
+    hi = a.hi if b.hi is None else (b.hi if a.hi is None else min(a.hi, b.hi))
+    if lo is not None and hi is not None and lo > hi:
+        return None
+    return Interval(lo, hi)
+
+
+def widen(old: Interval, new: Interval) -> Interval:
+    """Standard interval widening: any bound *new* moved past *old* jumps
+    to infinity.  Guarantees loop-head fixpoints stabilise (each variable
+    can only widen twice)."""
+    lo = old.lo
+    if old.lo is not None and (new.lo is None or new.lo < old.lo):
+        lo = None
+    hi = old.hi
+    if old.hi is not None and (new.hi is None or new.hi > old.hi):
+        hi = None
+    return Interval(lo, hi)
+
+
+def leq(a: Interval, b: Interval) -> bool:
+    """``a`` included in ``b`` (the lattice order)."""
+    if b.lo is not None and (a.lo is None or a.lo < b.lo):
+        return False
+    if b.hi is not None and (a.hi is None or a.hi > b.hi):
+        return False
+    return True
+
+
+# -- arithmetic -------------------------------------------------------------
+
+
+def _add_bound(a: Bound, b: Bound) -> Bound:
+    return None if a is None or b is None else a + b
+
+
+def add(a: Interval, b: Interval) -> Interval:
+    return Interval(_add_bound(a.lo, b.lo), _add_bound(a.hi, b.hi))
+
+
+def negate(a: Interval) -> Interval:
+    lo = None if a.hi is None else -a.hi
+    hi = None if a.lo is None else -a.lo
+    return Interval(lo, hi)
+
+
+def sub(a: Interval, b: Interval) -> Interval:
+    return add(a, negate(b))
+
+
+def scale(a: Interval, k: int) -> Interval:
+    if k == 0:
+        return const(0)
+    if k < 0:
+        return scale(negate(a), -k)
+    lo = None if a.lo is None else a.lo * k
+    hi = None if a.hi is None else a.hi * k
+    return Interval(lo, hi)
+
+
+def mul(a: Interval, b: Interval) -> Interval:
+    """Product; exact when either side is a constant, conservative hull
+    of the corner products otherwise (infinite corners give TOP unless
+    the other side is exactly zero)."""
+    if a.is_const():
+        return scale(b, a.lo)  # type: ignore[arg-type]
+    if b.is_const():
+        return scale(a, b.lo)  # type: ignore[arg-type]
+    if a.lo is None or a.hi is None or b.lo is None or b.hi is None:
+        return TOP
+    corners = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi]
+    return Interval(min(corners), max(corners))
+
+
+def split_lt(a: Interval, k: int) -> Optional[Interval]:
+    """``a`` restricted to ``v <= k - 1`` (i.e. ``v < k``)."""
+    return meet(a, at_most(k - 1))
+
+
+def split_ge(a: Interval, k: int) -> Optional[Interval]:
+    """``a`` restricted to ``v >= k``."""
+    return meet(a, at_least(k))
+
+
+def hull(*items: Interval) -> Interval:
+    out = items[0]
+    for it in items[1:]:
+        out = join(out, it)
+    return out
+
+
+def as_tuple(a: Interval) -> Tuple[Bound, Bound]:
+    return (a.lo, a.hi)

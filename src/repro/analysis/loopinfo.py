@@ -1,0 +1,158 @@
+"""Per-loop variable facts: condition support, modification, liveness.
+
+A single backward pass over a method body computes, for every ``While``
+node (keyed by ``id(node)``, matching :class:`repro.lang.desugar.LoopOrigin`
+and the invariants of :mod:`repro.analysis.absint`):
+
+* ``cond_vars`` -- variables the guard reads,
+* ``modified`` -- variables the body may write (assignment, declaration,
+  havoc, by-ref call argument),
+* ``used`` -- variables read anywhere in guard or body,
+* ``live_out`` -- variables live *after* the loop (classic backward
+  liveness, fixpoint over the loop itself).
+
+``prefacts`` combines these into ranking hints: a variable can matter to
+a termination measure only if the guard mentions it or the body changes
+it, so ``carried & (modified | cond_vars)`` is where linear measures
+live.  Liveness is exposed for diagnostics and future narrowing (a
+carried variable that is dead after the loop and unread in the guard is
+pure ballast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+from repro.lang.ast import (
+    Assign,
+    Assume,
+    CallStmt,
+    FieldWrite,
+    Havoc,
+    If,
+    Method,
+    Program,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    VarDecl,
+    Var,
+    While,
+    expr_vars,
+    stmt_assigned_vars,
+    stmt_used_vars,
+)
+
+
+@dataclass(frozen=True)
+class LoopFacts:
+    """Variable-level facts about one source ``while`` loop."""
+
+    cond_vars: FrozenSet[str]
+    used: FrozenSet[str]
+    modified: FrozenSet[str]
+    live_out: FrozenSet[str]
+
+
+def _by_ref_targets(program: Program, s: Stmt) -> FrozenSet[str]:
+    """Variables a call statement may write through ``ref`` parameters."""
+    out = set()
+    if isinstance(s, CallStmt):
+        callee = program.methods.get(s.name)
+        if callee is None:
+            out.update(a.name for a in s.args if isinstance(a, Var))
+        else:
+            for p, a in zip(callee.params, s.args):
+                if p.by_ref and isinstance(a, Var):
+                    out.add(a.name)
+    return frozenset(out)
+
+
+def _modified(program: Program, s: Stmt) -> FrozenSet[str]:
+    """``stmt_assigned_vars`` plus by-ref call targets, transitively."""
+    out = set(stmt_assigned_vars(s))
+
+    def walk(x: Stmt) -> None:
+        out.update(_by_ref_targets(program, x))
+        if isinstance(x, Seq):
+            for t in x.stmts:
+                walk(t)
+        elif isinstance(x, If):
+            walk(x.then)
+            walk(x.els)
+        elif isinstance(x, While):
+            walk(x.body)
+
+    walk(s)
+    return frozenset(out)
+
+
+class _Liveness:
+    def __init__(self, program: Program, out: Dict[int, LoopFacts]):
+        self.program = program
+        self.out = out
+
+    def live(self, s: Stmt, after: FrozenSet[str]) -> FrozenSet[str]:
+        """Live-before set given the live-after set, recording loops."""
+        if isinstance(s, Skip):
+            return after
+        if isinstance(s, Seq):
+            for t in reversed(s.stmts):
+                after = self.live(t, after)
+            return after
+        if isinstance(s, VarDecl):
+            before = after - {s.name}
+            if s.init is not None:
+                before |= expr_vars(s.init)
+            return before
+        if isinstance(s, Assign):
+            return (after - {s.name}) | expr_vars(s.value)
+        if isinstance(s, Havoc):
+            return after - frozenset(s.names)
+        if isinstance(s, CallStmt):
+            # by-ref targets are written, but the callee also reads them
+            # (call-by-value-result), so no kill.
+            used = frozenset().union(*map(expr_vars, s.args)) if s.args else frozenset()
+            return after | used
+        if isinstance(s, FieldWrite):
+            return after | {s.base} | expr_vars(s.value)
+        if isinstance(s, Assume):
+            return after | expr_vars(s.cond)
+        if isinstance(s, Return):
+            return expr_vars(s.value) if s.value is not None else frozenset()
+        if isinstance(s, If):
+            return (
+                self.live(s.then, after)
+                | self.live(s.els, after)
+                | expr_vars(s.cond)
+            )
+        if isinstance(s, While):
+            cond_vars = expr_vars(s.cond)
+            inside = after | cond_vars
+            while True:
+                nxt = after | cond_vars | self.live(s.body, inside)
+                if nxt == inside:
+                    break
+                inside = nxt
+            self.out[id(s)] = LoopFacts(
+                cond_vars=cond_vars,
+                used=cond_vars | stmt_used_vars(s.body),
+                modified=_modified(self.program, s.body),
+                live_out=after,
+            )
+            return inside
+        raise TypeError(f"unknown statement {type(s).__name__}")
+
+
+def loop_facts(method: Method, program: Program) -> Dict[int, LoopFacts]:
+    """Facts for every ``While`` in *method*, keyed by ``id(node)``.
+
+    Nested loops are recorded too (the inner loop's entry is visited
+    while processing the outer body).
+    """
+    out: Dict[int, LoopFacts] = {}
+    if method.body is not None:
+        _Liveness(program, out).live(method.body, frozenset())
+    return out

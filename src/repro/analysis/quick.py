@@ -1,0 +1,307 @@
+"""Quick termination/nontermination verdicts for simple loops.
+
+Two sound, syntactically-gated certificates let the pipeline skip the
+full unknown-predicate / Farkas machinery for the easy loops that
+dominate real corpora:
+
+``term`` -- *terminating by constant bound*: some guard conjunct
+``L < R`` (or ``<=``, or the flipped ``>`` forms) supplies the measure
+``m = R - L``, which is bounded below while the loop runs (the conjunct
+holds) and which a straight-line delta analysis proves decreases by at
+least 1 per iteration.  ``assume`` statements are permitted in the body:
+a violated assume halts execution -- termination -- and a passed one
+changes nothing.  Calls, heap access, nested loops and ``return`` all
+bail out.
+
+``stuck`` -- *definitely nonterminating*: the guard is pure, the body
+writes none of the guard's variables and contains no call, heap access,
+``assume`` or ``return``.  Once the guard holds it holds forever, and
+nothing inside can halt execution, so the loop diverges (a nested inner
+loop either diverges itself or falls through -- nontermination either
+way).
+
+Soundness of the delta analysis leans on the loop-head interval
+invariant for bounding occurrences of *old* variable values; those exact
+interval facts are conjoined into the loop method's ``requires`` by
+:mod:`repro.analysis.prefacts` (seeding), so the produced spec's
+precondition really implies the bounds the certificate used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis import intervals as iv
+from repro.analysis.intervals import Interval
+from repro.arith.context import SolverContext
+from repro.arith.formula import TRUE, Formula, conj, neg
+from repro.arith.terms import LinExpr
+from repro.core.predicates import LOOP, TERM, Term, POST_FALSE, POST_TRUE
+from repro.core.specs import CaseSpec, SpecCase
+from repro.lang.ast import (
+    Assign,
+    Assume,
+    Binary,
+    Expr,
+    FieldRead,
+    FieldWrite,
+    Havoc,
+    If,
+    Method,
+    NewExpr,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    VarDecl,
+    While,
+    expr_vars,
+    stmt_assigned_vars,
+    stmt_calls,
+)
+from repro.lang.to_arith import PurityError, expr_to_formula, expr_to_linexpr, is_pure_bool
+
+
+@dataclass(frozen=True)
+class QuickVerdict:
+    """A certificate computed by pre-analysis for one loop method."""
+
+    kind: str                          # "term" | "stuck"
+    measure: Optional[LinExpr] = None  # term: the decreasing bound
+    cond: Optional[Formula] = None     # stuck: the guard as a formula
+
+
+# ---------------------------------------------------------------------------
+# Shared structural gates
+# ---------------------------------------------------------------------------
+
+
+def _expr_has_heap(e: Expr) -> bool:
+    if isinstance(e, (FieldRead, NewExpr)):
+        return True
+    for attr in ("arg", "left", "right"):
+        sub = getattr(e, attr, None)
+        if isinstance(sub, Expr) and _expr_has_heap(sub):
+            return True
+    for a in getattr(e, "args", ()) or ():
+        if isinstance(a, Expr) and _expr_has_heap(a):
+            return True
+    return False
+
+
+def _scan(s: Stmt, *, allow_assume: bool, allow_while: bool) -> bool:
+    """True when *s* fits the certificate fragment (no calls, heap,
+    return; assume/nested-while per flags)."""
+    if isinstance(s, Skip):
+        return True
+    if isinstance(s, Seq):
+        return all(_scan(t, allow_assume=allow_assume, allow_while=allow_while) for t in s.stmts)
+    if isinstance(s, VarDecl):
+        return s.init is None or not _expr_has_heap(s.init)
+    if isinstance(s, Assign):
+        return not _expr_has_heap(s.value)
+    if isinstance(s, Havoc):
+        return True
+    if isinstance(s, Assume):
+        return allow_assume and not _expr_has_heap(s.cond)
+    if isinstance(s, If):
+        return (
+            not _expr_has_heap(s.cond)
+            and _scan(s.then, allow_assume=allow_assume, allow_while=allow_while)
+            and _scan(s.els, allow_assume=allow_assume, allow_while=allow_while)
+        )
+    if isinstance(s, While):
+        return (
+            allow_while
+            and not _expr_has_heap(s.cond)
+            and _scan(s.body, allow_assume=allow_assume, allow_while=allow_while)
+        )
+    # CallStmt, FieldWrite, Return -- and anything unforeseen -- bail.
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Delta analysis (term certificate)
+# ---------------------------------------------------------------------------
+
+
+def _join_deltas(a: Dict[str, Interval], b: Dict[str, Interval]) -> Dict[str, Interval]:
+    return {v: iv.join(a[v], b[v]) for v in a}
+
+
+def _body_deltas(
+    s: Stmt,
+    delta: Dict[str, Interval],
+    head_inv: Dict[str, Interval],
+) -> Optional[Dict[str, Interval]]:
+    """Per-variable change bounds ``current - at-loop-head``.
+
+    ``delta`` maps every tracked (carried) variable to an interval
+    bounding its drift since the head; ``None`` means bail out.  Old
+    (head) values appearing in right-hand sides are bounded with the
+    loop-head invariant -- the same facts :mod:`prefacts` seeds into the
+    loop method's ``requires``.
+    """
+    if isinstance(s, (Skip, Assume)):
+        return delta  # a violated assume halts: termination, no drift
+    if isinstance(s, Seq):
+        for t in s.stmts:
+            delta = _body_deltas(t, delta, head_inv)
+            if delta is None:
+                return None
+        return delta
+    if isinstance(s, Havoc):
+        out = dict(delta)
+        for name in s.names:
+            if name in out:
+                out[name] = iv.TOP
+        return out
+    if isinstance(s, (VarDecl, Assign)):
+        name = s.name
+        value = s.init if isinstance(s, VarDecl) else s.value
+        if name not in delta:
+            return delta  # body-local: its drift never feeds a measure
+        out = dict(delta)
+        if value is None:
+            out[name] = iv.TOP
+            return out
+        try:
+            lin = expr_to_linexpr(value)
+        except PurityError:
+            out[name] = iv.TOP  # nondet / non-linear: unknown new value
+            return out
+        if any(v not in delta for v in lin.variables()) or any(
+            c.denominator != 1 for c in lin.coeffs.values()
+        ) or lin.constant.denominator != 1:
+            out[name] = iv.TOP
+            return out
+        # new - old  =  sum_w (c_w - [w==name]) * head_w
+        #             + sum_w c_w * delta_w  +  k
+        # The sum must range over the assigned variable even when it has
+        # no coefficient in the RHS (``c = 3``, ``c = a``): its head
+        # value still enters through the ``- old`` side.
+        drift = iv.const(int(lin.constant))
+        for w in set(lin.coeffs) | {name}:
+            c_int = int(lin.coeffs.get(w, 0))
+            head_coeff = c_int - (1 if w == name else 0)
+            if head_coeff != 0:
+                drift = iv.add(drift, iv.scale(head_inv.get(w, iv.TOP), head_coeff))
+            if c_int != 0:
+                drift = iv.add(drift, iv.scale(delta[w], c_int))
+        out[name] = drift
+        return out
+    if isinstance(s, If):
+        a = _body_deltas(s.then, dict(delta), head_inv)
+        b = _body_deltas(s.els, dict(delta), head_inv)
+        if a is None or b is None:
+            return None
+        return _join_deltas(a, b)
+    return None  # While, Return, CallStmt, FieldWrite: outside the fragment
+
+
+def _conjuncts(e: Expr) -> List[Expr]:
+    if isinstance(e, Binary) and e.op == "&&":
+        return _conjuncts(e.left) + _conjuncts(e.right)
+    return [e]
+
+
+def term_certificate(
+    cond: Expr,
+    body: Stmt,
+    head_inv: Dict[str, Interval],
+    carried: List[str],
+) -> Optional[LinExpr]:
+    """A linear measure proving the loop terminates, or ``None``.
+
+    The measure comes from a guard conjunct ``L < R`` / ``L <= R`` (or
+    the flipped ``>`` forms): ``m = R - L`` is nonnegative while the
+    loop runs, and the delta analysis must show it drops by >= 1 every
+    iteration.
+    """
+    if not _scan(body, allow_assume=True, allow_while=False):
+        return None
+    deltas = _body_deltas(
+        body, {v: iv.const(0) for v in carried}, head_inv
+    )
+    if deltas is None:
+        return None
+    for conjunct in _conjuncts(cond):
+        if not isinstance(conjunct, Binary) or conjunct.op not in ("<", "<=", ">", ">="):
+            continue
+        try:
+            left = expr_to_linexpr(conjunct.left)
+            right = expr_to_linexpr(conjunct.right)
+        except PurityError:
+            continue
+        m = right - left if conjunct.op in ("<", "<=") else left - right
+        support = m.variables()
+        if not support or any(v not in deltas for v in support):
+            continue
+        if any(c.denominator != 1 for c in m.coeffs.values()):
+            continue
+        drop = iv.const(0)
+        for v, c in m.coeffs.items():
+            drop = iv.add(drop, iv.scale(deltas[v], int(c)))
+        if drop.hi is not None and drop.hi <= -1:
+            return m
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Stuck-loop certificate
+# ---------------------------------------------------------------------------
+
+
+def stuck_certificate(cond: Expr, body: Stmt) -> Optional[Formula]:
+    """The guard as a formula when the loop is provably stuck.
+
+    Requirements: pure guard, body never writes a guard variable, and
+    nothing in the body can halt execution (no call, heap access,
+    ``assume`` or ``return``).  Nested loops are fine -- they either
+    diverge themselves or fall through; divergence either way.
+    """
+    if not is_pure_bool(cond):
+        return None
+    if not _scan(body, allow_assume=False, allow_while=True):
+        return None
+    if stmt_calls(body):
+        return None
+    if expr_vars(cond) & stmt_assigned_vars(body):
+        return None
+    return expr_to_formula(cond)
+
+
+# ---------------------------------------------------------------------------
+# Spec construction
+# ---------------------------------------------------------------------------
+
+
+def build_quick_spec(
+    method: Method, verdict: QuickVerdict, ctx: SolverContext
+) -> Optional[CaseSpec]:
+    """Materialise a :class:`CaseSpec` for a loop method from its quick
+    verdict, mirroring what ``DefStore.flatten`` would produce.
+
+    Returns ``None`` when the precondition admits no state matching the
+    certificate (the caller falls back to the full analysis).
+    """
+    req = method.requires if method.requires is not None else TRUE
+    params = tuple(method.param_names)
+    if verdict.kind == "term":
+        if not ctx.is_sat(req):
+            return None
+        case = SpecCase(ctx.simplify(req), Term((verdict.measure,)), POST_TRUE)
+        return CaseSpec(method.name, params, [case])
+    if verdict.kind == "stuck":
+        cases = []
+        looping = conj(req, verdict.cond)
+        if ctx.is_sat(looping):
+            cases.append(SpecCase(ctx.simplify(looping), LOOP, POST_FALSE))
+        exiting = conj(req, neg(verdict.cond))
+        if ctx.is_sat(exiting):
+            cases.append(SpecCase(ctx.simplify(exiting), TERM, POST_TRUE))
+        if not cases:
+            return None
+        return CaseSpec(method.name, params, cases)
+    raise ValueError(f"unknown quick verdict kind {verdict.kind!r}")

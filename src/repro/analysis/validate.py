@@ -1,0 +1,370 @@
+"""AST well-formedness validator: structured diagnostics, not stack traces.
+
+Runs at pipeline entry (``infer_program(validate=True)``, the default)
+so malformed programs -- an undefined variable, a call to a method that
+does not exist, an arity mismatch -- surface as position-carrying
+:class:`~repro.analysis.diagnostics.Diagnostic` records instead of
+``KeyError``/``VerifierError`` deep inside the core.
+
+Severity policy
+---------------
+``ERROR`` means the pipeline (verifier, desugarer or interpreter) would
+misbehave or crash on the construct; :func:`repro.core.pipeline` refuses
+to analyze and raises :class:`ProgramInvalid`.  ``WARNING`` marks code
+that is well-defined but almost certainly unintended (a variable that
+may be read before assignment on *some* path, statements after an
+unconditional ``return``); analysis proceeds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.lang.ast import (
+    Assign,
+    Assume,
+    CallExpr,
+    CallStmt,
+    Expr,
+    FieldWrite,
+    Havoc,
+    If,
+    Method,
+    NamedType,
+    NewExpr,
+    Pos,
+    Program,
+    Return,
+    Seq,
+    Skip,
+    Stmt,
+    VOID,
+    Var,
+    VarDecl,
+    While,
+    expr_calls,
+    expr_vars,
+)
+from repro.lang.callgraph import undefined_calls
+from repro.lang.parser import parse_program
+
+
+class _MethodChecker:
+    """Forward must/may definite-assignment walk over one method body."""
+
+    def __init__(self, program: Program, method: Method, out: List[Diagnostic]):
+        self.program = program
+        self.method = method
+        self.out = out
+
+    def _diag(self, severity: Severity, code: str, message: str, pos: Pos) -> None:
+        self.out.append(
+            Diagnostic(severity, code, message, method=self.method.name, pos=pos)
+        )
+
+    def _check_reads(self, e: Expr, pos: Pos, must: Set[str], may: Set[str]) -> None:
+        for name in sorted(expr_vars(e)):
+            if name not in may:
+                self._diag(
+                    Severity.ERROR,
+                    "undefined-variable",
+                    f"variable '{name}' is read but never defined",
+                    pos,
+                )
+            elif name not in must:
+                self._diag(
+                    Severity.WARNING,
+                    "maybe-undefined",
+                    f"variable '{name}' may be read before assignment",
+                    pos,
+                )
+        for call in expr_calls(e):
+            self._check_call(call.name, call.args, call.pos, value_position=isinstance(call, CallExpr))
+
+    def _check_call(self, name: str, args, pos: Pos, value_position: bool) -> None:
+        callee = self.program.methods.get(name)
+        if callee is None:
+            return  # reported program-wide via undefined_calls
+        if len(args) != len(callee.params):
+            self._diag(
+                Severity.ERROR,
+                "call-arity",
+                f"call to '{name}' passes {len(args)} argument(s), "
+                f"declared with {len(callee.params)}",
+                pos,
+            )
+        if value_position and callee.ret_type == VOID:
+            self._diag(
+                Severity.ERROR,
+                "void-call-value",
+                f"void method '{name}' used as a value",
+                pos,
+            )
+        for p, a in zip(callee.params, args):
+            if p.by_ref and not isinstance(a, Var):
+                self._diag(
+                    Severity.ERROR,
+                    "ref-arg-not-var",
+                    f"ref parameter '{p.name}' of '{name}' needs a plain "
+                    "variable argument",
+                    pos,
+                )
+
+    def walk(
+        self, s: Stmt, must: Set[str], may: Set[str], live: bool
+    ) -> Tuple[Set[str], Set[str], bool]:
+        """Returns updated ``(must, may, falls_through)``."""
+        if not live:
+            # already warned at the first unreachable statement
+            return must, may, live
+        if isinstance(s, Skip):
+            return must, may, True
+        if isinstance(s, Seq):
+            falls = True
+            for t in s.stmts:
+                if not falls:
+                    self._warn_unreachable(t)
+                    return must, may, False
+                must, may, falls = self.walk(t, must, may, falls)
+            return must, may, falls
+        if isinstance(s, VarDecl):
+            if s.init is not None:
+                self._check_reads(s.init, s.pos, must, may)
+            # uninitialised declarations still define the cell (the
+            # interpreter zero-fills), so reads are defined -- but warn.
+            if s.init is None:
+                may.add(s.name)
+            else:
+                must.add(s.name)
+                may.add(s.name)
+            return must, may, True
+        if isinstance(s, Assign):
+            self._check_reads(s.value, s.pos, must, may)
+            if s.name not in may and s.name not in self._declared:
+                self._diag(
+                    Severity.WARNING,
+                    "assign-undeclared",
+                    f"assignment to undeclared variable '{s.name}'",
+                    s.pos,
+                )
+            must.add(s.name)
+            may.add(s.name)
+            return must, may, True
+        if isinstance(s, Havoc):
+            must.update(s.names)
+            may.update(s.names)
+            return must, may, True
+        if isinstance(s, CallStmt):
+            for a in s.args:
+                self._check_reads(a, s.pos, must, may)
+            self._check_call(s.name, s.args, s.pos, value_position=False)
+            return must, may, True
+        if isinstance(s, FieldWrite):
+            if s.base not in may:
+                self._diag(
+                    Severity.ERROR,
+                    "undefined-variable",
+                    f"variable '{s.base}' is read but never defined",
+                    s.pos,
+                )
+            self._check_reads(s.value, s.pos, must, may)
+            return must, may, True
+        if isinstance(s, Assume):
+            self._check_reads(s.cond, s.pos, must, may)
+            return must, may, True
+        if isinstance(s, Return):
+            if s.value is not None:
+                self._check_reads(s.value, s.pos, must, may)
+            return must, may, False
+        if isinstance(s, If):
+            self._check_reads(s.cond, s.pos, must, may)
+            m1, y1, f1 = self.walk(s.then, set(must), set(may), True)
+            m2, y2, f2 = self.walk(s.els, set(must), set(may), True)
+            if f1 and f2:
+                return m1 & m2, y1 | y2, True
+            if f1:
+                return m1, y1 | y2, True
+            if f2:
+                return m2, y1 | y2, True
+            return must, y1 | y2, False
+        if isinstance(s, While):
+            # the body may run zero times: 'must' is unchanged by the
+            # loop, 'may' absorbs body definitions.  Check the guard and
+            # body with loop-carried 'may' definitions visible.
+            _, may_body, _ = self.walk(s.body, set(must), set(may), True)
+            may2 = may | may_body
+            self._check_reads(s.cond, s.pos, must, may2)
+            # re-walk for diagnostics with the enriched may-set?  One
+            # pass suffices: the first walk already used entry-'may';
+            # re-running would duplicate messages, so keep the single
+            # (slightly stricter) pass.
+            return must, may2, True
+        raise TypeError(f"unknown statement {type(s).__name__}")
+
+    def _warn_unreachable(self, s: Stmt) -> None:
+        pos = getattr(s, "pos", None)
+        self._diag(
+            Severity.WARNING,
+            "unreachable",
+            "statement is unreachable (follows a return)",
+            pos,
+        )
+
+    def run(self) -> None:
+        m = self.method
+        self._declared = set(m.param_names)
+        seen: Set[str] = set()
+        for p in m.params:
+            if p.name in seen:
+                self._diag(
+                    Severity.ERROR,
+                    "duplicate-param",
+                    f"duplicate parameter '{p.name}'",
+                    m.pos,
+                )
+            seen.add(p.name)
+        if m.body is None:
+            return
+        self._declared |= _declared_names(m.body)
+        self.walk(m.body, set(m.param_names), set(m.param_names), True)
+        self._check_specs()
+
+    def _check_specs(self) -> None:
+        m = self.method
+        params = set(m.param_names)
+        for kw, f in (("requires", m.requires), ("ensures", m.ensures)):
+            if f is None:
+                continue
+            allowed = params | ({"res"} if kw == "ensures" else set())
+            free = getattr(f, "free_vars", lambda: frozenset())()
+            extra = sorted(set(free) - allowed)
+            if extra:
+                self._diag(
+                    Severity.WARNING,
+                    "spec-free-var",
+                    f"{kw} clause mentions non-parameter variable(s) "
+                    + ", ".join(repr(v) for v in extra),
+                    m.pos,
+                )
+
+
+def _declared_names(s: Stmt) -> Set[str]:
+    out: Set[str] = set()
+
+    def walk(x: Stmt) -> None:
+        if isinstance(x, VarDecl):
+            out.add(x.name)
+        elif isinstance(x, Seq):
+            for t in x.stmts:
+                walk(t)
+        elif isinstance(x, If):
+            walk(x.then)
+            walk(x.els)
+        elif isinstance(x, While):
+            walk(x.body)
+
+    walk(s)
+    return out
+
+
+def _check_new_exprs(program: Program, method: Method, out: List[Diagnostic]) -> None:
+    if method.body is None:
+        return
+
+    def exprs_of(s: Stmt):
+        if isinstance(s, VarDecl) and s.init is not None:
+            yield s.pos, s.init
+        elif isinstance(s, Assign):
+            yield s.pos, s.value
+        elif isinstance(s, FieldWrite):
+            yield s.pos, s.value
+        elif isinstance(s, (Assume,)):
+            yield s.pos, s.cond
+        elif isinstance(s, CallStmt):
+            for a in s.args:
+                yield s.pos, a
+        elif isinstance(s, Return) and s.value is not None:
+            yield s.pos, s.value
+        elif isinstance(s, Seq):
+            for t in s.stmts:
+                yield from exprs_of(t)
+        elif isinstance(s, (If, While)):
+            yield s.pos, s.cond
+            for t in ([s.then, s.els] if isinstance(s, If) else [s.body]):
+                yield from exprs_of(t)
+
+    def walk_expr(pos: Pos, e: Expr) -> None:
+        if isinstance(e, NewExpr):
+            if e.type_name not in program.data_decls:
+                out.append(
+                    Diagnostic(
+                        Severity.ERROR,
+                        "unknown-type",
+                        f"new of undeclared data type '{e.type_name}'",
+                        method=method.name,
+                        pos=e.pos if e.pos is not None else pos,
+                    )
+                )
+            for a in e.args:
+                walk_expr(pos, a)
+        else:
+            for attr in ("arg", "left", "right", "base"):
+                sub = getattr(e, attr, None)
+                if isinstance(sub, Expr):
+                    walk_expr(pos, sub)
+            for a in getattr(e, "args", ()) or ():
+                if isinstance(a, Expr):
+                    walk_expr(pos, a)
+
+    for pos, e in exprs_of(method.body):
+        walk_expr(pos, e)
+
+
+def validate_program(program: Program) -> List[Diagnostic]:
+    """Lint *program*; returns all findings (errors and warnings)."""
+    out: List[Diagnostic] = []
+    for caller, callee, pos in undefined_calls(program):
+        out.append(
+            Diagnostic(
+                Severity.ERROR,
+                "unknown-callee",
+                f"call to undefined method '{callee}'",
+                method=caller,
+                pos=pos,
+            )
+        )
+    for decl in program.data_decls.values():
+        seen: Set[str] = set()
+        for f in decl.fields:
+            if f.name in seen:
+                out.append(
+                    Diagnostic(
+                        Severity.ERROR,
+                        "duplicate-field",
+                        f"data type '{decl.name}' declares field "
+                        f"'{f.name}' twice",
+                        pos=decl.pos,
+                    )
+                )
+            seen.add(f.name)
+            if isinstance(f.type, NamedType) and f.type.name not in program.data_decls:
+                out.append(
+                    Diagnostic(
+                        Severity.WARNING,
+                        "unknown-field-type",
+                        f"field '{decl.name}.{f.name}' has undeclared "
+                        f"type '{f.type.name}'",
+                        pos=decl.pos,
+                    )
+                )
+    for method in program.methods.values():
+        _MethodChecker(program, method, out).run()
+        _check_new_exprs(program, method, out)
+    return out
+
+
+def validate_source(source: str) -> Tuple[Program, List[Diagnostic]]:
+    """Parse and lint *source* (parse errors still raise ``ParseError``)."""
+    program = parse_program(source)
+    return program, validate_program(program)

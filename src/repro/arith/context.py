@@ -85,6 +85,11 @@ class SolverStats:
     store_hits: int = 0
     store_misses: int = 0
     store_invalidations: int = 0
+    # Pre-analysis accounting (:mod:`repro.analysis`): SCCs resolved by a
+    # quick verdict without entering the TNT solver, and methods whose
+    # ranking-template search was seeded with modification hints.
+    pre_quick: int = 0
+    pre_seeded: int = 0
 
     @property
     def queries(self) -> int:
@@ -103,6 +108,7 @@ class SolverStats:
         "sat_queries", "sat_hits", "entail_queries", "entail_hits",
         "project_queries", "project_hits", "evictions", "fm_eliminations",
         "store_hits", "store_misses", "store_invalidations",
+        "pre_quick", "pre_seeded",
     )
 
     def reset(self) -> None:

@@ -11,11 +11,23 @@ With ``--backend NAME`` (e.g. ``matrix``) each table grows a ``HIPTNT+
 [NAME]`` row running the sweep with that decision-procedure backend
 (see ``docs/solver.md``) and a footer line reporting verdict parity and
 the measured wall-clock ratio against the reference row.
+
+By default each table also grows a ``HIPTNT+ (pre)`` row running the
+sweep with the dataflow pre-analysis layer (see ``docs/analysis.md``)
+plus a ``↳ preanalysis`` footer measuring its verdict refinements and
+wall-clock win against the plain row; ``--no-preanalysis`` drops both.
+
+``--check-preanalysis`` runs the differential self-check instead of the
+table: every program of the selected corpus is analyzed twice (with and
+without pre-analysis) and the verdicts are compared directly -- not via
+the bench harness, whose error handling would fold a soundness crash
+into an UNKNOWN row.  Exits nonzero on any divergence.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 from repro.bench.reporting import fig10_table, fig11_table
 
@@ -54,9 +66,22 @@ def main() -> None:
         "sweep on that backend plus a parity/speedup footer against the "
         "reference row",
     )
+    parser.add_argument(
+        "--no-preanalysis", dest="preanalysis", action="store_false",
+        help="drop the 'HIPTNT+ (pre)' row and its refinement/speedup "
+        "footer (the pre-analysis comparison runs by default)",
+    )
+    parser.add_argument(
+        "--check-preanalysis", action="store_true",
+        help="instead of the table, run the pre-analysis differential "
+        "self-check over the selected corpus (exit 1 on any verdict "
+        "divergence)",
+    )
     args = parser.parse_args()
     if args.cold and not args.store:
         parser.error("--cold requires --store DIR")
+    if args.check_preanalysis and (args.store or args.backend or args.cold):
+        parser.error("--check-preanalysis takes no --store/--cold/--backend")
     if args.backend:
         from repro.arith.backends import get_backend
 
@@ -68,12 +93,48 @@ def main() -> None:
         from repro.store import SpecStore
 
         SpecStore(args.store).wipe()
+    if args.check_preanalysis:
+        sys.exit(_check_preanalysis(args))
     if args.table == "fig10":
         print(fig10_table(timeout=args.timeout, jobs=args.jobs,
-                          store=args.store, backend=args.backend))
+                          store=args.store, backend=args.backend,
+                          preanalysis=args.preanalysis))
     else:
         print(fig11_table(timeout=args.timeout, jobs=args.jobs,
-                          store=args.store, backend=args.backend))
+                          store=args.store, backend=args.backend,
+                          preanalysis=args.preanalysis))
+
+
+def _check_preanalysis(args) -> int:
+    """Differential self-check over the corpus the selected table uses.
+
+    Goes through :func:`repro.analysis.check.check_corpus` -- direct
+    ``infer_program`` calls, no ``run_tool`` wrapper -- so an exception
+    inside either configuration surfaces instead of becoming an UNKNOWN
+    row.  The per-inference solver budget is capped by ``--timeout``.
+    """
+    from repro.analysis.check import check_corpus
+    from repro.bench.programs import all_programs
+
+    corpus = all_programs()
+    if args.table == "fig11":
+        corpus = [
+            p for p in corpus
+            if p.loop_based
+            and p.category in ("crafted", "crafted-lit", "numeric")
+        ]
+    divergences = check_corpus(
+        programs=corpus,
+        time_budget=min(args.timeout, 15.0),
+        jobs=args.jobs,
+    )
+    for d in divergences:
+        print(d, file=sys.stderr)
+    print(
+        f"check-preanalysis [{args.table}]: {len(corpus)} programs, "
+        f"{len(divergences)} divergences"
+    )
+    return 1 if divergences else 0
 
 
 if __name__ == "__main__":

@@ -19,6 +19,15 @@ They also accept ``backend=`` (a decision-procedure backend name, see
 [<backend>]`` row runs the full sweep with that cube engine, and a
 ``↳ backend`` footer line checks the row program-by-program against the
 reference row -- verdict parity plus the measured wall-clock ratio.
+
+With ``preanalysis=True`` (the CLI default; ``--no-preanalysis``
+disables it) an extra ``HIPTNT+ (pre)`` row runs the sweep with the
+dataflow pre-analysis layer (:mod:`repro.analysis`) enabled, and a
+``↳ preanalysis`` footer checks it program-by-program against the plain
+row: conflicts (definite-vs-definite disagreements) are flagged,
+refinements (U resolved to a definite answer by quick verdicts or
+seeded contracts) are counted, and the wall-clock ratio lands as the
+measured speedup (or parity).
 """
 
 from __future__ import annotations
@@ -50,11 +59,13 @@ class _HipWrapper:
 
     def __init__(self, name: str = "HIPTNT+",
                  store: Optional[str] = None,
-                 backend: Optional[str] = None) -> None:
+                 backend: Optional[str] = None,
+                 preanalysis: bool = False) -> None:
         self.name = name
         self._main: Optional[str] = None
         self._store = store
         self._backend = backend
+        self._preanalysis = preanalysis
         self.last_stats = None  # forwarded from the wrapped tool
 
     def bind(self, main: str) -> "_HipWrapper":
@@ -64,7 +75,8 @@ class _HipWrapper:
     def analyze(self, program):
         assert self._main is not None
         tool = HipTNTPlus(self._main, store=self._store,
-                          backend=self._backend)
+                          backend=self._backend,
+                          preanalysis=self._preanalysis)
         try:
             return tool.analyze(program)
         finally:
@@ -75,6 +87,9 @@ _FIG10_TOOLS = ("AProVE-like", "ULTIMATE-like", "HIPTNT+")
 
 #: Row label of the repeat HIPTNT+ sweep in store-enabled tables.
 HIP_WARM = "HIPTNT+ (warm)"
+
+#: Row label of the extra HIPTNT+ sweep with the pre-analysis layer on.
+HIP_PRE = "HIPTNT+ (pre)"
 
 
 def hip_backend_label(backend: str) -> str:
@@ -103,6 +118,10 @@ def _make_tool(name: str, main: str, store: Optional[str] = None,
         return T2LikeAnalyzer()
     if name in ("HIPTNT+", HIP_WARM):
         return _HipWrapper(name, store=store).bind(main)
+    if name == HIP_PRE:
+        # Never store-cached: the row must measure live pre-analysis
+        # pruning, not store replay of the cold sweep's results.
+        return _HipWrapper(name, store=None, preanalysis=True).bind(main)
     if backend is not None and name == hip_backend_label(backend):
         return _HipWrapper(name, store=None, backend=backend).bind(main)
     raise KeyError(name)
@@ -115,6 +134,7 @@ def run_fig10(
     jobs: int = 1,
     store: Optional[str] = None,
     backend: Optional[str] = None,
+    preanalysis: bool = False,
 ) -> Dict[str, Dict[str, List[BenchOutcome]]]:
     """All Fig. 10 outcomes: tool -> category -> outcome list.
 
@@ -132,12 +152,18 @@ def run_fig10(
     With a *backend* name, an extra ``HIPTNT+ [<backend>]`` sweep runs
     the same programs with that cube engine (never store-cached, so the
     comparison is always against live solving).
+
+    With ``preanalysis=True``, an extra ``HIPTNT+ (pre)`` sweep runs the
+    same programs with the dataflow pre-analysis layer enabled (also
+    never store-cached, for the same reason).
     """
     corpus = programs if programs is not None else all_programs()
     in_scope = [b for b in corpus if b.category in categories]
     backend_row = [hip_backend_label(backend)] if backend else []
+    pre_row = [HIP_PRE] if preanalysis else []
     tool_names = (
-        list(_FIG10_TOOLS) + backend_row + ([HIP_WARM] if store else [])
+        list(_FIG10_TOOLS) + pre_row + backend_row
+        + ([HIP_WARM] if store else [])
     )
     results: Dict[str, Dict[str, List[BenchOutcome]]] = {
         name: {c: [] for c in categories} for name in tool_names
@@ -156,7 +182,7 @@ def run_fig10(
         for (name, category), outcome in zip(keys, outcomes):
             results[name][category].append(outcome)
 
-    sweep(list(_FIG10_TOOLS) + backend_row)
+    sweep(list(_FIG10_TOOLS) + pre_row + backend_row)
     if store:
         # The warm sweep must start only after every cold HIPTNT+ run has
         # written back, so it is a separate sharded batch.
@@ -171,14 +197,16 @@ def fig10_table(
     jobs: int = 1,
     store: Optional[str] = None,
     backend: Optional[str] = None,
+    preanalysis: bool = False,
 ) -> str:
     """The Fig. 10 table as formatted text (plus, with *store*, a
-    ``HIPTNT+ (warm)`` row re-running against the populated store, and
-    with *backend*, a ``HIPTNT+ [<backend>]`` row followed by a verdict
-    parity / wall-clock comparison footer)."""
+    ``HIPTNT+ (warm)`` row re-running against the populated store, with
+    *backend*, a ``HIPTNT+ [<backend>]`` row followed by a verdict
+    parity / wall-clock comparison footer, and with *preanalysis*, a
+    ``HIPTNT+ (pre)`` row followed by a refinement/speedup footer)."""
     results = run_fig10(timeout=timeout, categories=categories,
                         programs=programs, jobs=jobs, store=store,
-                        backend=backend)
+                        backend=backend, preanalysis=preanalysis)
     header = f"{'Tool':<16}"
     for c in categories:
         header += f"| {c:^26} "
@@ -207,6 +235,10 @@ def fig10_table(
         solver_line = _solver_summary(total)
         if solver_line:
             lines.append(solver_line)
+    if preanalysis:
+        ref = [o for c in categories for o in results["HIPTNT+"][c]]
+        pre = [o for c in categories for o in results[HIP_PRE][c]]
+        lines.append(_preanalysis_comparison(ref, pre))
     if backend:
         ref = [o for c in categories for o in results["HIPTNT+"][c]]
         alt = [
@@ -247,6 +279,62 @@ def _backend_comparison(
     )
 
 
+def _preanalysis_comparison(
+    ref: List[BenchOutcome], pre: List[BenchOutcome]
+) -> str:
+    """Footer comparing the pre-analysis sweep against the plain sweep.
+
+    Program-by-program (both sweeps run the corpus in the same order):
+    a *conflict* -- both rows definite, different answers -- means a
+    soundness bug and is shouted; a *refinement* -- the plain row said
+    U (or timed out) and the pre-analysis row commits to a definite
+    answer -- is the designed effect of quick verdicts and seeded
+    contracts; the reverse (a definite answer weakened to U) is a
+    precision loss worth seeing.  The wall-clock ratio is the measured
+    cost/win of running the extra layer.
+    """
+    def definite(o: BenchOutcome) -> bool:
+        return o.verdict is not None and str(o.verdict) in ("Y", "N")
+
+    conflicts, refined, weakened, agree = [], 0, 0, 0
+    for r, p in zip(ref, pre):
+        if r.program != p.program:
+            continue
+        if r.verdict is p.verdict:
+            agree += 1
+        elif definite(r) and definite(p):
+            conflicts.append(r.program)
+        elif definite(p):
+            refined += 1
+        elif definite(r):
+            weakened += 1
+        else:
+            agree += 1  # U vs timeout: indefinite either way
+    rt = sum(o.seconds for o in ref if not o.timed_out)
+    pt = sum(o.seconds for o in pre if not o.timed_out)
+    stats = tally_solver_stats(pre)
+    if conflicts:
+        shown = ", ".join(conflicts[:5]) + (
+            ", ..." if len(conflicts) > 5 else ""
+        )
+        parity = f"{len(conflicts)} verdict CONFLICTS: {shown}"
+    else:
+        parity = f"no conflicts on {len(pre)} programs"
+        extras = []
+        if refined:
+            extras.append(f"{refined} refined to definite")
+        if weakened:
+            extras.append(f"{weakened} weakened to U")
+        if extras:
+            parity += f" ({', '.join(extras)})"
+    ratio = rt / pt if pt > 0 else float("inf")
+    return (
+        f"  ↳ preanalysis: {stats['pre_quick']} quick verdicts, "
+        f"{stats['pre_seeded']} seeded contracts; {parity}; "
+        f"time {pt:.1f}s vs plain {rt:.1f}s ({ratio:.2f}x)"
+    )
+
+
 def _solver_summary(outcomes: List[BenchOutcome]) -> str:
     """One line of aggregated solver-cache statistics, or '' when no run
     reported any (only HipTNT+ sets ``last_stats``; the baselines also do
@@ -265,6 +353,10 @@ def _solver_summary(outcomes: List[BenchOutcome]) -> str:
             f"; store: {s['store_hits']} hits / {s['store_misses']} misses"
             f" / {s['store_invalidations']} invalidations"
         )
+    if s["pre_quick"] or s["pre_seeded"]:
+        line += (
+            f"; pre: {s['pre_quick']} quick / {s['pre_seeded']} seeded"
+        )
     return line
 
 
@@ -274,12 +366,14 @@ def run_fig11(
     jobs: int = 1,
     store: Optional[str] = None,
     backend: Optional[str] = None,
+    preanalysis: bool = False,
 ) -> Dict[str, List[BenchOutcome]]:
     """Fig. 11 outcomes: loop-based integer programs, T2-like vs HIPTNT+.
 
     With a *store* directory a ``HIPTNT+ (warm)`` sweep is appended after
-    the cold one, and with a *backend* name a ``HIPTNT+ [<backend>]``
-    sweep runs alongside the cold one, exactly as in :func:`run_fig10`.
+    the cold one; with a *backend* name a ``HIPTNT+ [<backend>]`` sweep
+    and with ``preanalysis=True`` a ``HIPTNT+ (pre)`` sweep run
+    alongside the cold one, exactly as in :func:`run_fig10`.
     """
     corpus = programs if programs is not None else all_programs()
     loop_programs = [
@@ -288,8 +382,10 @@ def run_fig11(
         if p.loop_based and p.category in ("crafted", "crafted-lit", "numeric")
     ]
     backend_row = [hip_backend_label(backend)] if backend else []
+    pre_row = [HIP_PRE] if preanalysis else []
     tool_names = (
-        ["T2-like", "HIPTNT+"] + backend_row + ([HIP_WARM] if store else [])
+        ["T2-like", "HIPTNT+"] + pre_row + backend_row
+        + ([HIP_WARM] if store else [])
     )
     results: Dict[str, List[BenchOutcome]] = {n: [] for n in tool_names}
 
@@ -306,7 +402,7 @@ def run_fig11(
         for name, outcome in zip(keys, outcomes):
             results[name].append(outcome)
 
-    sweep(["T2-like", "HIPTNT+"] + backend_row)
+    sweep(["T2-like", "HIPTNT+"] + pre_row + backend_row)
     if store:
         sweep([HIP_WARM])
     return results
@@ -318,12 +414,16 @@ def fig11_table(
     jobs: int = 1,
     store: Optional[str] = None,
     backend: Optional[str] = None,
+    preanalysis: bool = False,
 ) -> str:
     """The Fig. 11 table as formatted text (plus, with *store*, a
-    ``HIPTNT+ (warm)`` row, and with *backend*, a ``HIPTNT+ [<backend>]``
-    row followed by a verdict parity / wall-clock comparison footer)."""
+    ``HIPTNT+ (warm)`` row, with *backend*, a ``HIPTNT+ [<backend>]``
+    row followed by a verdict parity / wall-clock comparison footer,
+    and with *preanalysis*, a ``HIPTNT+ (pre)`` row followed by a
+    refinement/speedup footer)."""
     results = run_fig11(timeout=timeout, programs=programs, jobs=jobs,
-                        store=store, backend=backend)
+                        store=store, backend=backend,
+                        preanalysis=preanalysis)
     lines = [
         f"{'Tool':<16}{'Total':>6}{'Y':>5}{'N':>5}{'U':>5}{'T/O':>5}{'Time':>8}"
     ]
@@ -336,6 +436,10 @@ def fig11_table(
         solver_line = _solver_summary(outcomes)
         if solver_line:
             lines.append(solver_line)
+    if preanalysis:
+        lines.append(
+            _preanalysis_comparison(results["HIPTNT+"], results[HIP_PRE])
+        )
     if backend:
         lines.append(
             _backend_comparison(

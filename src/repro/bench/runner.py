@@ -77,6 +77,12 @@ class HipTNTPlus:
     the run; ``None`` is the reference engine.  When set, the tool's
     display name gains a ``[backend]`` suffix so per-backend table rows
     are distinguishable.
+
+    *preanalysis* enables the dataflow pre-analysis layer
+    (:mod:`repro.analysis`): quick verdicts skip easy SCCs, interval
+    facts seed loop-method contracts, and ranking hints narrow the
+    Farkas search.  The tool's display name gains a ``(pre)`` suffix and
+    per-run stats report ``pre_quick`` / ``pre_seeded`` counters.
     """
 
     def __init__(
@@ -85,19 +91,22 @@ class HipTNTPlus:
         time_budget: float = 15.0,
         store: Optional[str] = None,
         backend: Optional[str] = None,
+        preanalysis: bool = False,
     ):
         self.main = main
         self.time_budget = time_budget
         self.store = store
         self.backend = backend
-        self.name = "HIPTNT+" if backend is None else f"HIPTNT+ [{backend}]"
+        self.preanalysis = preanalysis
+        name = "HIPTNT+" if backend is None else f"HIPTNT+ [{backend}]"
+        self.name = f"{name} (pre)" if preanalysis else name
         self.last_stats: Optional[SolverStats] = None
 
     def analyze(self, program) -> Verdict:
         self.last_stats = None  # a timed-out run must not inherit old stats
         result = infer_program(
             program, time_budget=self.time_budget, store=self.store,
-            backend=self.backend,
+            backend=self.backend, preanalysis=self.preanalysis,
         )
         self.last_stats = result.solver_stats
         return result.verdict(self.main)
@@ -567,11 +576,13 @@ def tally(outcomes: List[BenchOutcome]) -> Dict[str, object]:
 
 def tally_solver_stats(outcomes: List[BenchOutcome]) -> Dict[str, object]:
     """Sum the per-run solver counters of *outcomes* (queries, cache hits,
-    evictions, raw FM eliminations, spec-store hits/misses/invalidations)
-    and derive the overall hit rate."""
+    evictions, raw FM eliminations, spec-store hits/misses/invalidations,
+    pre-analysis quick verdicts and seeded contracts) and derive the
+    overall hit rate."""
     agg = {
         "queries": 0, "hits": 0, "evictions": 0, "fm_eliminations": 0,
         "store_hits": 0, "store_misses": 0, "store_invalidations": 0,
+        "pre_quick": 0, "pre_seeded": 0,
     }
     reported = 0
     for o in outcomes:

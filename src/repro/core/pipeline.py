@@ -127,6 +127,11 @@ def analyze_scc_group(
     ]
     if not group_methods:
         return {}
+    # Pre-analysis ranking hints ride on the Method nodes themselves, so
+    # they survive pickling into scheduler workers with no extra plumbing.
+    rank_focus = {
+        m.name: m.rank_hints for m in group_methods if m.rank_hints
+    }
     pairs = {
         m.name: f"U0@{m.name}" for m in group_methods
     }
@@ -143,7 +148,8 @@ def analyze_scc_group(
         ma.post_assumptions = filter_post(ma.post_assumptions, ctx=ctx)
         group.append(ma)
     TNTSolver(
-        store, max_iter=max_iter, time_budget=time_budget, ctx=ctx
+        store, max_iter=max_iter, time_budget=time_budget, ctx=ctx,
+        rank_focus=rank_focus or None,
     ).solve(group)
     from repro.arith.formula import TRUE as _TRUE
 
@@ -186,6 +192,42 @@ def lookup_cached_specs(
     return cached
 
 
+def _validate_or_raise(program: Program) -> None:
+    """Lint a source program; raise ``ProgramInvalid`` on errors."""
+    from repro.analysis.diagnostics import ProgramInvalid  # local: avoid cycle
+    from repro.analysis.validate import validate_program
+
+    diags = validate_program(program)
+    if any(d.severity.value == "error" for d in diags):
+        raise ProgramInvalid(diags)
+
+
+def quick_scc_specs(
+    program: Program,
+    name: str,
+    prefacts,
+    ctx: SolverContext,
+    stats: SolverStats,
+) -> Optional[Dict[str, CaseSpec]]:
+    """Resolve a singleton SCC from its pre-analysis quick verdict.
+
+    Returns ``None`` when the method has no certificate (or its
+    precondition voids it) -- the caller falls back to the store and the
+    full analysis.  Accounted in ``stats.pre_quick``; shared by the
+    sequential driver and the parallel scheduler.
+    """
+    verdict = prefacts.quick.get(name)
+    if verdict is None:
+        return None
+    from repro.analysis.quick import build_quick_spec  # local: avoid cycle
+
+    spec = build_quick_spec(program.methods[name], verdict, ctx)
+    if spec is None:
+        return None
+    stats.pre_quick += 1
+    return {name: spec}
+
+
 def infer_program(
     program: Program,
     max_iter: int = 8,
@@ -195,6 +237,9 @@ def infer_program(
     jobs: int = 1,
     store: StoreArg = None,
     backend: Optional[str] = None,
+    preanalysis: bool = False,
+    check_preanalysis: bool = False,
+    validate: bool = True,
 ) -> InferenceResult:
     """Infer termination/non-termination summaries for every method.
 
@@ -244,6 +289,27 @@ def infer_program(
         when a caller-owned *solver_ctx* is supplied -- that context's
         backend wins.  Threads through worker processes under
         ``jobs > 1``, like *store*.
+    preanalysis:
+        Run the dataflow pre-analysis (:mod:`repro.analysis`) first:
+        prune definitely-dead loops and branches, seed loop-method
+        contracts with interval invariants, attach ranking hints, and
+        short-circuit SCCs whose loops carry a quick termination /
+        nontermination certificate (``solver_stats.pre_quick`` /
+        ``pre_seeded`` account both).  Requires a *source* program
+        (``desugared=False``); with ``desugared=True`` the flag is
+        ignored.  See ``docs/analysis.md``.
+    check_preanalysis:
+        Differential self-check: run the inference twice -- with and
+        without pre-analysis -- compare every source method's verdict,
+        and raise :class:`repro.analysis.check.PreAnalysisDivergence`
+        (with a minimized reproducer) on any difference.  Returns the
+        pre-analysis result.  Implies ``preanalysis``.
+    validate:
+        Lint the source program first (default): validation *errors*
+        (undefined variables, unknown callees, arity mismatches, ...)
+        raise :class:`repro.analysis.diagnostics.ProgramInvalid` with
+        position-carrying diagnostics instead of surfacing as internal
+        errors mid-pipeline.  Skipped for ``desugared=True`` input.
 
     Returns
     -------
@@ -258,6 +324,15 @@ def infer_program(
     """
     from repro.core.scheduler import resolve_jobs
 
+    if check_preanalysis:
+        from repro.analysis.check import checked_infer  # local: avoid cycle
+
+        return checked_infer(
+            program, max_iter=max_iter, desugared=desugared,
+            time_budget=time_budget, solver_ctx=solver_ctx, jobs=jobs,
+            store=store, backend=backend, validate=validate,
+        )
+
     jobs = resolve_jobs(jobs)
     if jobs > 1 and solver_ctx is None:
         from repro.core.scheduler import infer_program_parallel
@@ -265,6 +340,7 @@ def infer_program(
         return infer_program_parallel(
             program, jobs=jobs, max_iter=max_iter, desugared=desugared,
             time_budget=time_budget, store=store, backend=backend,
+            preanalysis=preanalysis, validate=validate,
         )
 
     from repro.seplog.abstraction import abstract_program  # local: optional dep
@@ -277,8 +353,18 @@ def infer_program(
             return solver_ctx
         return SolverContext(stats=stats, backend=backend)
 
+    prefacts = None
     if not desugared:
-        program = desugar_program(program)
+        if preanalysis:
+            from repro.analysis.prefacts import pre_analyze  # local: avoid cycle
+
+            prefacts = pre_analyze(program, strict=validate)
+            program = prefacts.desugared
+            stats.pre_seeded += len(prefacts.seeded)
+        else:
+            if validate:
+                _validate_or_raise(program)
+            program = desugar_program(program)
     program = abstract_program(program, ctx=group_ctx())
     spec_store = as_store(store)
     if spec_store is not None:
@@ -299,7 +385,9 @@ def infer_program(
             n for n in scc if program.methods[n].body is not None
         ]
         specs = None
-        cacheable = spec_store is not None and bool(body_methods)
+        if prefacts is not None and len(body_methods) == 1:
+            specs = quick_scc_specs(program, body_methods[0], prefacts, ctx, stats)
+        cacheable = spec_store is not None and bool(body_methods) and specs is None
         if cacheable:
             specs = lookup_cached_specs(spec_store, key, body_methods, stats)
         if specs is None:
@@ -320,13 +408,18 @@ def infer_program(
 def infer_source(
     source: str, max_iter: int = 8, time_budget: float = 30.0,
     jobs: int = 1, store: StoreArg = None, backend: Optional[str] = None,
+    preanalysis: bool = False, check_preanalysis: bool = False,
+    validate: bool = True,
 ) -> InferenceResult:
     """Parse, desugar and infer a program given as concrete syntax.
 
-    ``jobs``, ``store`` and ``backend`` are forwarded to
+    ``jobs``, ``store``, ``backend``, ``preanalysis``,
+    ``check_preanalysis`` and ``validate`` are forwarded to
     :func:`infer_program` unchanged (parallel SCC analysis; persistent
-    summary cache; decision-procedure backend)."""
+    summary cache; decision-procedure backend; dataflow pre-analysis and
+    its differential self-check; lint layer)."""
     return infer_program(
         parse_program(source), max_iter=max_iter, time_budget=time_budget,
-        jobs=jobs, store=store, backend=backend,
+        jobs=jobs, store=store, backend=backend, preanalysis=preanalysis,
+        check_preanalysis=check_preanalysis, validate=validate,
     )

@@ -81,37 +81,92 @@ def _gcd(a: int, b: int) -> int:
 
 
 class RankSynthesizer:
-    """Synthesis of (lexicographic) linear ranking functions per SCC."""
+    """Synthesis of (lexicographic) linear ranking functions per SCC.
+
+    *focus* (optional) maps **method names** to pre-analysis ranking
+    hints -- parameter subsets likely to carry the measure (the loop's
+    modified + condition variables, see :mod:`repro.analysis`).  When a
+    pair has a usable hint, synthesis first solves a *focused* LP whose
+    templates range over the hinted parameters only (fewer unknowns,
+    fewer Farkas multipliers); on failure it falls back to the full
+    template, so a wrong hint costs one extra LP, never an answer.
+    """
 
     def __init__(
         self,
         pair_args: Dict[str, Tuple[str, ...]],
         ctx: Optional[SolverContext] = None,
+        focus: Optional[Dict[str, Tuple[str, ...]]] = None,
     ):
         self.pair_args = pair_args
         self.ctx = resolve(ctx)
+        self.focus = focus or {}
+
+    def _focused_indices(self, pair: str) -> Optional[List[int]]:
+        """Parameter positions the focused template keeps for *pair*, or
+        ``None`` when the hint is absent, empty or not a proper subset.
+        Pair names are ``U<n>@<method>`` (case-split children inherit the
+        method base), so the method key is everything after the ``@``."""
+        hints = self.focus.get(pair.split("@", 1)[-1])
+        if not hints:
+            return None
+        full = self.pair_args[pair]
+        hint_set = set(hints)
+        idx = [i for i, f in enumerate(full) if f in hint_set]
+        if not idx or len(idx) == len(full):
+            return None
+        return idx
 
     # -- single linear component ------------------------------------------------
+
+    def _synthesize(
+        self,
+        scc: List[str],
+        edges: List[Edge],
+        strict_edges: Set[int],
+    ) -> Optional[Dict[str, LinExpr]]:
+        """Focused-template attempt first (when hints apply), then the
+        complete template -- the fallback keeps completeness."""
+        if any(self._focused_indices(u) is not None for u in scc):
+            ranks = self._synthesize_component(
+                scc, edges, strict_edges, focused=True
+            )
+            if ranks is not None:
+                return ranks
+        return self._synthesize_component(scc, edges, strict_edges)
 
     def _synthesize_component(
         self,
         scc: List[str],
         edges: List[Edge],
         strict_edges: Set[int],
+        focused: bool = False,
     ) -> Optional[Dict[str, LinExpr]]:
         """Find templates such that every edge is non-increasing & bounded
         and the edges in *strict_edges* decrease by >= 1; returns the
         (exactly verified) ranking functions per pair, or ``None``."""
         lp = LPProblem()
         coeff_names: Dict[str, Tuple[Dict[str, str], str]] = {}
+        keep_idx: Dict[str, List[int]] = {}
         for u in scc:
-            coeff_names[u] = template(f"rk.{u}", list(self.pair_args[u]))
+            formals = list(self.pair_args[u])
+            keep_idx[u] = list(range(len(formals)))
+            if focused:
+                idx = self._focused_indices(u)
+                if idx is not None:
+                    keep_idx[u] = idx
+                    formals = [formals[i] for i in idx]
+            coeff_names[u] = template(f"rk.{u}", formals)
         impl_id = 0
         for idx, edge in enumerate(edges):
             src_names, src_c0 = coeff_names[edge.src]
             dst_names, dst_c0 = coeff_names[edge.dst]
-            src_formals = list(self.pair_args[edge.src])
-            dst_formals = list(self.pair_args[edge.dst])
+            src_full = self.pair_args[edge.src]
+            dst_full = self.pair_args[edge.dst]
+            src_formals = [src_full[i] for i in keep_idx[edge.src]]
+            dst_formals = [dst_full[i] for i in keep_idx[edge.dst]]
+            src_args = [edge.src_args[i] for i in keep_idx[edge.src]]
+            dst_args = [edge.dst_args[i] for i in keep_idx[edge.dst]]
             for cube in _edge_cubes(edge, self.ctx):
                 xs = sorted(
                     set(edge.src_args)
@@ -125,7 +180,7 @@ class RankSynthesizer:
                 # decreasing) one -- the standard lexicographic condition
                 if idx in strict_edges:
                     g_bound: Dict[str, LinExpr] = {}
-                    for f, a in zip(src_formals, edge.src_args):
+                    for f, a in zip(src_formals, src_args):
                         g_bound[a] = g_bound.get(a, LinExpr()) + LinExpr(
                             {src_names[f]: -1}
                         )
@@ -139,9 +194,9 @@ class RankSynthesizer:
                 #           <= -delta + c0_src - c0_dst
                 delta = 1 if idx in strict_edges else 0
                 g_dec: Dict[str, LinExpr] = {}
-                for f, a in zip(src_formals, edge.src_args):
+                for f, a in zip(src_formals, src_args):
                     g_dec[a] = g_dec.get(a, LinExpr()) + LinExpr({src_names[f]: -1})
-                for f, a in zip(dst_formals, edge.dst_args):
+                for f, a in zip(dst_formals, dst_args):
                     g_dec[a] = g_dec.get(a, LinExpr()) + LinExpr({dst_names[f]: 1})
                 d_const = (
                     LinExpr({src_c0: 1}) - LinExpr({dst_c0: 1}) + LinExpr({}, -delta)
@@ -215,7 +270,7 @@ class RankSynthesizer:
         """A single linear ranking function decreasing on every edge."""
         if not edges:
             return None
-        return self._synthesize_component(scc, edges, set(range(len(edges))))
+        return self._synthesize(scc, edges, set(range(len(edges))))
 
     def synthesize_lexicographic(
         self, scc: List[str], edges: List[Edge]
@@ -234,7 +289,7 @@ class RankSynthesizer:
                 return measures
             sub_edges = [edges[i] for i in remaining]
             # Fast path: all edges strictly decreasing at once.
-            ranks = self._synthesize_component(
+            ranks = self._synthesize(
                 scc, sub_edges, set(range(len(sub_edges)))
             )
             if ranks is not None:
@@ -248,7 +303,7 @@ class RankSynthesizer:
                 attempts += 1
                 if attempts > 12:  # bound the greedy LP search
                     return None
-                ranks = self._synthesize_component(scc, sub_edges, {pos})
+                ranks = self._synthesize(scc, sub_edges, {pos})
                 if ranks is None:
                     continue
                 dec = self.strictly_decreasing_edges(ranks, sub_edges)

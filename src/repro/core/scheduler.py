@@ -154,6 +154,8 @@ def infer_program_parallel(
     time_budget: float = 30.0,
     store=None,
     backend: Optional[str] = None,
+    preanalysis: bool = False,
+    validate: bool = True,
 ) -> "InferenceResult":
     """Parallel counterpart of :func:`repro.core.pipeline.infer_program`.
 
@@ -187,8 +189,20 @@ def infer_program_parallel(
     plain string in the pool initializer (like the store root) and every
     worker resolves it to its own instance -- backend objects themselves
     never travel.
+
+    *preanalysis* / *validate* mirror the sequential driver: the parent
+    runs the dataflow pre-analysis (or just the lint layer) on the
+    source program before desugaring.  Quick-certified SCCs resolve
+    inline at submission time -- exactly like store hits, no worker
+    round-trip -- and seeded contracts plus ranking hints travel to the
+    workers on the program itself.
     """
-    from repro.core.pipeline import InferenceResult, lookup_cached_specs
+    from repro.core.pipeline import (
+        InferenceResult,
+        lookup_cached_specs,
+        quick_scc_specs,
+        _validate_or_raise,
+    )
     from repro.seplog.abstraction import abstract_program
     from repro.store.specstore import as_store
 
@@ -196,13 +210,27 @@ def infer_program_parallel(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
 
     stats = SolverStats()
+    prefacts = None
     if not desugared:
-        program = desugar_program(program)
+        if preanalysis:
+            from repro.analysis.prefacts import pre_analyze
+
+            prefacts = pre_analyze(program, strict=validate)
+            program = prefacts.desugared
+            stats.pre_seeded += len(prefacts.seeded)
+        else:
+            if validate:
+                _validate_or_raise(program)
+            program = desugar_program(program)
     program = abstract_program(
         program, ctx=SolverContext(stats=stats, backend=backend)
     )
 
     spec_store = as_store(store)
+    # Parent-side context for materialising quick-verdict specs (cheap
+    # is_sat/simplify calls); feeds the program-wide stats like any
+    # other context.
+    quick_ctx = SolverContext(stats=stats, backend=backend)
     sccs, deps = scc_dependencies(program)
     if spec_store is not None:
         from repro.store.fingerprint import scc_store_keys
@@ -258,6 +286,16 @@ def infer_program_parallel(
                 # lets their dependents dispatch immediately.
                 finish(i, {})
                 return
+            if prefacts is not None and len(body_methods) == 1:
+                # Quick-certified loops resolve in the parent, like
+                # store hits: no worker round-trip, dependents unblock
+                # immediately.
+                quick = quick_scc_specs(
+                    program, body_methods[0], prefacts, quick_ctx, stats
+                )
+                if quick is not None:
+                    finish(i, quick)
+                    return
             if spec_store is not None:
                 # Store lookups happen in the parent so a cached SCC
                 # resolves instantly -- its dependents dispatch from

@@ -72,11 +72,15 @@ class TNTSolver:
         max_iter: int = MAX_ITER,
         time_budget: Optional[float] = 60.0,
         ctx: Optional[SolverContext] = None,
+        rank_focus: Optional[Dict[str, Tuple[str, ...]]] = None,
     ):
         self.store = store
         self.max_iter = max_iter
         self.time_budget = time_budget
         self.ctx = resolve(ctx)
+        # Pre-analysis ranking hints, keyed by method name; forwarded to
+        # every RankSynthesizer (focused template first, full fallback).
+        self.rank_focus = rank_focus
         self._deadline: Optional[float] = None
 
     def _expired(self) -> bool:
@@ -234,7 +238,9 @@ class TNTSolver:
                 self.store.resolve_leaf(u, MAYLOOP, POST_TRUE)
             return True
         edges = graph.internal_edges(scc)
-        synth = RankSynthesizer(self.store.pair_args, ctx=self.ctx)
+        synth = RankSynthesizer(
+            self.store.pair_args, ctx=self.ctx, focus=self.rank_focus
+        )
         linear = synth.synthesize_linear(scc, edges)
         if linear is not None:
             for u in scc:

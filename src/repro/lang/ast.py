@@ -29,6 +29,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+#: Source position ``(line, col)`` of a node, or ``None`` for nodes built
+#: programmatically.  Positions are metadata: they are excluded from
+#: equality, hashing, repr and structural fingerprints, so two programs
+#: that differ only in layout are indistinguishable everywhere except in
+#: diagnostics.
+Pos = Optional[Tuple[int, int]]
+
+
+def _pos_field() -> Pos:
+    """The ``pos`` dataclass field shared by positioned AST nodes."""
+    return field(default=None, compare=False, repr=False)
+
 
 # ---------------------------------------------------------------------------
 # Types
@@ -106,6 +118,7 @@ class NullLit(Expr):
 @dataclass(frozen=True)
 class Var(Expr):
     name: str
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return self.name
@@ -141,6 +154,7 @@ class FieldRead(Expr):
 
     base: Expr
     fieldname: str
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.base}.{self.fieldname}"
@@ -152,6 +166,7 @@ class CallExpr(Expr):
 
     name: str
     args: Tuple[Expr, ...]
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.name}({', '.join(map(str, self.args))})"
@@ -171,6 +186,7 @@ class NewExpr(Expr):
 
     type_name: str
     args: Tuple[Expr, ...]
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return f"new {self.type_name}({', '.join(map(str, self.args))})"
@@ -198,6 +214,7 @@ class VarDecl(Stmt):
     type: Type
     name: str
     init: Optional[Expr] = None
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         if self.init is None:
@@ -209,6 +226,7 @@ class VarDecl(Stmt):
 class Assign(Stmt):
     name: str
     value: Expr
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.name} = {self.value};"
@@ -221,6 +239,7 @@ class FieldWrite(Stmt):
     base: str
     fieldname: str
     value: Expr
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.base}.{self.fieldname} = {self.value};"
@@ -230,6 +249,7 @@ class FieldWrite(Stmt):
 class CallStmt(Stmt):
     name: str
     args: Tuple[Expr, ...]
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return f"{self.name}({', '.join(map(str, self.args))});"
@@ -248,6 +268,7 @@ class If(Stmt):
     cond: Expr
     then: Stmt
     els: Stmt
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return f"if ({self.cond}) {{ {self.then} }} else {{ {self.els} }}"
@@ -257,6 +278,7 @@ class If(Stmt):
 class While(Stmt):
     cond: Expr
     body: Stmt
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return f"while ({self.cond}) {{ {self.body} }}"
@@ -265,6 +287,7 @@ class While(Stmt):
 @dataclass(frozen=True)
 class Return(Stmt):
     value: Optional[Expr] = None
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return "return;" if self.value is None else f"return {self.value};"
@@ -276,6 +299,7 @@ class Assume(Stmt):
     desugarer for loop-exit conditions and available in source)."""
 
     cond: Expr
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return f"assume({self.cond});"
@@ -286,6 +310,7 @@ class Havoc(Stmt):
     """``havoc x, y;`` -- forget the values of the named variables."""
 
     names: Tuple[str, ...]
+    pos: Pos = _pos_field()
 
     def __str__(self) -> str:
         return f"havoc {', '.join(self.names)};"
@@ -330,6 +355,7 @@ class DataDecl:
 
     name: str
     fields: Tuple[Param, ...]
+    pos: Pos = _pos_field()
 
     def field_names(self) -> List[str]:
         return [f.name for f in self.fields]
@@ -352,6 +378,12 @@ class Method:
     heap_specs: List[object] = field(default_factory=list)  # seplog specs
     is_primitive: bool = False
     source_loop: bool = False           # True for desugared while-loops
+    pos: Pos = _pos_field()
+    # Pre-analysis hint: preferred template variables for ranking-function
+    # synthesis over this method's unknown pairs (a subset of the params).
+    # Advisory only -- synthesis falls back to the full template when a
+    # focused search fails, so a wrong hint can cost time, never answers.
+    rank_hints: Optional[Tuple[str, ...]] = None
 
     @property
     def param_names(self) -> List[str]:
@@ -423,6 +455,51 @@ def stmt_calls(s: Stmt) -> List[str]:
             walk_expr(x.value)
         elif isinstance(x, CallStmt):
             out.append(x.name)
+            for a in x.args:
+                walk_expr(a)
+        elif isinstance(x, Seq):
+            for t in x.stmts:
+                walk(t)
+        elif isinstance(x, If):
+            walk_expr(x.cond)
+            walk(x.then)
+            walk(x.els)
+        elif isinstance(x, While):
+            walk_expr(x.cond)
+            walk(x.body)
+        elif isinstance(x, Return):
+            if x.value is not None:
+                walk_expr(x.value)
+        elif isinstance(x, Assume):
+            walk_expr(x.cond)
+        else:
+            raise TypeError(f"unknown statement {type(x).__name__}")
+
+    walk(s)
+    return out
+
+
+def stmt_call_sites(s: Stmt) -> List[Union[CallStmt, CallExpr]]:
+    """All call *sites* in *s* -- the ``CallStmt``/``CallExpr`` nodes
+    themselves, in pre-order, so callers can reach names, argument counts
+    and source positions (used by the well-formedness validator)."""
+    out: List[Union[CallStmt, CallExpr]] = []
+
+    def walk_expr(e: Expr) -> None:
+        out.extend(expr_calls(e))
+
+    def walk(x: Stmt) -> None:
+        if isinstance(x, (Skip, Havoc)):
+            return
+        if isinstance(x, VarDecl):
+            if x.init is not None:
+                walk_expr(x.init)
+        elif isinstance(x, Assign):
+            walk_expr(x.value)
+        elif isinstance(x, FieldWrite):
+            walk_expr(x.value)
+        elif isinstance(x, CallStmt):
+            out.append(x)
             for a in x.args:
                 walk_expr(a)
         elif isinstance(x, Seq):

@@ -12,7 +12,7 @@ from typing import Dict, List, Set, Tuple
 
 import networkx as nx
 
-from repro.lang.ast import Program, stmt_calls
+from repro.lang.ast import Pos, Program, stmt_call_sites, stmt_calls
 
 
 def call_graph(program: Program) -> "nx.DiGraph":
@@ -27,6 +27,27 @@ def call_graph(program: Program) -> "nx.DiGraph":
             if callee in program.methods:
                 g.add_edge(name, callee)
     return g
+
+
+def undefined_calls(program: Program) -> List[Tuple[str, str, Pos]]:
+    """All call sites whose callee is not declared, as
+    ``(caller, callee, pos)`` triples in deterministic (method, pre-order)
+    order.
+
+    :func:`call_graph` silently skips such edges, so without a validation
+    pass an undefined callee only surfaces as an internal verifier error
+    deep in the core; the well-formedness validator
+    (:func:`repro.analysis.validate_program`) turns these triples into
+    structured diagnostics with source positions instead.
+    """
+    out: List[Tuple[str, str, Pos]] = []
+    for name, method in program.methods.items():
+        if method.body is None:
+            continue
+        for site in stmt_call_sites(method.body):
+            if site.name not in program.methods:
+                out.append((name, site.name, site.pos))
+    return out
 
 
 def method_sccs(program: Program) -> List[List[str]]:

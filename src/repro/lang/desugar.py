@@ -24,6 +24,7 @@ discover that from the loop method's own summary.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.lang import ast
@@ -64,10 +65,34 @@ class DesugarError(Exception):
     """Raised on constructs outside the supported fragment."""
 
 
+@dataclass(frozen=True)
+class LoopOrigin:
+    """Where a desugared ``<method>_loopK`` method came from.
+
+    Recorded (into the ``origin_out`` mapping of :func:`desugar_program`)
+    at extraction time, keyed by loop-method name.  ``while_node`` is the
+    *original* :class:`While` object from the caller's AST -- object
+    identity is preserved through desugaring, so pre-analysis facts
+    computed on the source AST (keyed by ``id(while_node)``) can be
+    re-attached to the loop method regardless of how nested loops were
+    numbered.
+    """
+
+    while_node: While
+    method_name: str               # the enclosing source method
+    carried: Tuple[str, ...]       # loop-method parameters, sorted
+    modified: Tuple[str, ...]      # variables the body may write, sorted
+
+
 class _Desugarer:
-    def __init__(self, program: Program):
+    def __init__(
+        self,
+        program: Program,
+        origin_out: Optional[Dict[str, LoopOrigin]] = None,
+    ):
         self.program = program
         self.new_methods: Dict[str, Method] = {}
+        self.origin_out = origin_out
         self._temp_counter = itertools.count()
         self._loop_counter: Dict[str, itertools.count] = {}
 
@@ -244,6 +269,13 @@ class _Desugarer:
             source_loop=True,
         )
         self.new_methods[loop_name] = loop_method
+        if self.origin_out is not None:
+            self.origin_out[loop_name] = LoopOrigin(
+                while_node=s,
+                method_name=method.name,
+                carried=tuple(carried),
+                modified=tuple(sorted(modified)),
+            )
         # Desugar the freshly built loop body too (it may contain nested
         # loops that were already handled recursively via desugar_stmt, but
         # the If wrapper itself needs no further treatment).
@@ -269,9 +301,18 @@ def _contains_return(s: Stmt) -> bool:
     return False
 
 
-def desugar_program(program: Program) -> Program:
-    """Return a new program with loops and nested calls desugared away."""
-    d = _Desugarer(program)
+def desugar_program(
+    program: Program,
+    origin_out: Optional[Dict[str, "LoopOrigin"]] = None,
+) -> Program:
+    """Return a new program with loops and nested calls desugared away.
+
+    When *origin_out* is supplied, every extracted loop method's
+    :class:`LoopOrigin` is recorded into it (keyed by loop-method name),
+    letting the pre-analysis map facts about source ``While`` nodes onto
+    the tail-recursive methods they became.
+    """
+    d = _Desugarer(program, origin_out=origin_out)
     methods: Dict[str, Method] = {}
     for name, m in program.methods.items():
         if m.body is None:
@@ -289,6 +330,8 @@ def desugar_program(program: Program) -> Program:
             heap_specs=m.heap_specs,
             is_primitive=m.is_primitive,
             source_loop=m.source_loop,
+            pos=m.pos,
+            rank_hints=m.rank_hints,
         )
     methods.update(d.new_methods)
     return Program(data_decls=dict(program.data_decls), methods=methods)

@@ -131,20 +131,27 @@ class _Parser:
         data_decls = {}
         methods = {}
         while self.peek().kind != "eof":
+            start = self.peek()
             if self.check("data"):
                 d = self.parse_data_decl()
                 if d.name in data_decls:
-                    raise ParseError(f"duplicate data declaration {d.name!r}")
+                    raise ParseError(
+                        f"duplicate data declaration {d.name!r} "
+                        f"at line {start.line}, col {start.col}"
+                    )
                 data_decls[d.name] = d
             else:
                 m = self.parse_method()
                 if m.name in methods:
-                    raise ParseError(f"duplicate method {m.name!r}")
+                    raise ParseError(
+                        f"duplicate method {m.name!r} "
+                        f"at line {start.line}, col {start.col}"
+                    )
                 methods[m.name] = m
         return Program(data_decls=data_decls, methods=methods)
 
     def parse_data_decl(self) -> DataDecl:
-        self.expect("data")
+        start = self.expect("data")
         name = self.expect_ident()
         self.expect("{")
         fields: List[Param] = []
@@ -154,9 +161,10 @@ class _Parser:
             self.expect(";")
             fields.append(Param(ftype, fname))
         self.expect("}")
-        return DataDecl(name=name, fields=tuple(fields))
+        return DataDecl(name=name, fields=tuple(fields), pos=(start.line, start.col))
 
     def parse_method(self) -> Method:
+        start = self.peek()
         ret_type = self.parse_type()
         name = self.expect_ident()
         self.expect("(")
@@ -202,6 +210,7 @@ class _Parser:
                 expr_to_formula(ensures_expr) if ensures_expr is not None else None
             ),
             is_primitive=body is None,
+            pos=(start.line, start.col),
         )
 
     # -- statements ---------------------------------------------------------
@@ -215,6 +224,8 @@ class _Parser:
         return seq(*stmts)
 
     def parse_stmt(self) -> Stmt:
+        start = self.peek()
+        pos = (start.line, start.col)
         if self.check("{"):
             return self.parse_block()
         if self.accept("if"):
@@ -225,31 +236,31 @@ class _Parser:
             els: Stmt = Skip()
             if self.accept("else"):
                 els = self.parse_stmt()
-            return If(cond, then, els)
+            return If(cond, then, els, pos=pos)
         if self.accept("while"):
             self.expect("(")
             cond = self.parse_expr()
             self.expect(")")
             body = self.parse_stmt()
-            return While(cond, body)
+            return While(cond, body, pos=pos)
         if self.accept("return"):
             if self.accept(";"):
-                return Return(None)
+                return Return(None, pos=pos)
             value = self.parse_expr()
             self.expect(";")
-            return Return(value)
+            return Return(value, pos=pos)
         if self.accept("assume"):
             self.expect("(")
             cond = self.parse_expr()
             self.expect(")")
             self.expect(";")
-            return Assume(cond)
+            return Assume(cond, pos=pos)
         if self.accept("havoc"):
             names = [self.expect_ident()]
             while self.accept(","):
                 names.append(self.expect_ident())
             self.expect(";")
-            return Havoc(tuple(names))
+            return Havoc(tuple(names), pos=pos)
         if self.at_type():
             vtype = self.parse_type()
             name = self.expect_ident()
@@ -257,7 +268,7 @@ class _Parser:
             if self.accept("="):
                 init = self.parse_expr()
             self.expect(";")
-            return VarDecl(vtype, name, init)
+            return VarDecl(vtype, name, init, pos=pos)
         # assignment / field write / call statement
         name = self.expect_ident()
         if self.accept("."):
@@ -265,17 +276,17 @@ class _Parser:
             self.expect("=")
             value = self.parse_expr()
             self.expect(";")
-            return FieldWrite(name, fieldname, value)
+            return FieldWrite(name, fieldname, value, pos=pos)
         if self.accept("="):
             value = self.parse_expr()
             self.expect(";")
-            return Assign(name, value)
+            return Assign(name, value, pos=pos)
         if self.check("("):
             self.advance()
             args = self.parse_args()
             self.expect(")")
             self.expect(";")
-            return CallStmt(name, tuple(args))
+            return CallStmt(name, tuple(args), pos=pos)
         tok = self.peek()
         raise ParseError(
             f"unexpected token {tok.text!r} after {name!r} "
@@ -364,7 +375,7 @@ class _Parser:
             self.expect("(")
             args = self.parse_args()
             self.expect(")")
-            return NewExpr(type_name, tuple(args))
+            return NewExpr(type_name, tuple(args), pos=(tok.line, tok.col))
         if self.accept("("):
             inner = self.parse_expr()
             self.expect(")")
@@ -375,10 +386,10 @@ class _Parser:
                 self.advance()
                 args = self.parse_args()
                 self.expect(")")
-                return CallExpr(name, tuple(args))
-            expr: Expr = Var(name)
+                return CallExpr(name, tuple(args), pos=(tok.line, tok.col))
+            expr: Expr = Var(name, pos=(tok.line, tok.col))
             while self.accept("."):
-                expr = FieldRead(expr, self.expect_ident())
+                expr = FieldRead(expr, self.expect_ident(), pos=(tok.line, tok.col))
             return expr
         raise ParseError(
             f"unexpected token {tok.text!r} at line {tok.line}, col {tok.col}"

@@ -1,9 +1,30 @@
-"""Pretty printer for programs; round-trips through the parser."""
+"""Pretty printer for programs; round-trips through the parser.
+
+Round-trip contract (property-tested in
+``tests/lang/test_pretty_roundtrip.py``): for every *parser-shaped*
+program ``p`` -- one the parser could have produced, i.e. ``seq()``-
+normalised bodies, non-negative integer literals, no field reads hanging
+off call expressions -- ``parse_program(pretty_program(p))`` is
+structurally equal to ``p``.  ``requires``/``ensures`` formulas are
+rendered back to source syntax; formulas with no source form
+(existential quantifiers, fractional coefficients that do not scale to
+integers exactly) degrade to a ``//`` comment, which the lexer skips.
+"""
 
 from __future__ import annotations
 
-from typing import List
+from math import lcm
+from typing import List, Optional
 
+from repro.arith.formula import (
+    And,
+    Atom,
+    BoolConst,
+    Formula,
+    Not,
+    Or,
+)
+from repro.arith.terms import LinExpr
 from repro.lang.ast import (
     Assign,
     Assume,
@@ -25,6 +46,80 @@ from repro.lang.ast import (
 _INDENT = "  "
 
 
+# ---------------------------------------------------------------------------
+# Formulas back to source syntax
+# ---------------------------------------------------------------------------
+
+
+def linexpr_source(e: LinExpr) -> Optional[str]:
+    """*e* as concrete-syntax arithmetic, or ``None`` when a coefficient
+    is not an integer (the parser only produces integer atoms)."""
+    if any(c.denominator != 1 for c in e.coeffs.values()):
+        return None
+    if e.constant.denominator != 1:
+        return None
+    out = ""
+    for name in sorted(e.coeffs):
+        c = int(e.coeffs[name])
+        if c == 0:
+            continue
+        term = name if abs(c) == 1 else f"{abs(c)}*{name}"
+        if not out:
+            out = ("-" if c < 0 else "") + term
+        else:
+            out += (" - " if c < 0 else " + ") + term
+    k = int(e.constant)
+    if not out:
+        return str(k)
+    if k != 0:
+        out += f" - {abs(k)}" if k < 0 else f" + {k}"
+    return out
+
+
+def formula_source(f: Formula) -> Optional[str]:
+    """*f* as a concrete-syntax boolean expression, or ``None`` when the
+    formula has no source form (``Exists``, unscalable rationals).
+
+    Re-parsing the result through ``expr_to_formula`` rebuilds the same
+    interned formula for anything the language pipeline itself produces:
+    atoms are already normalised to ``e rel 0`` and the smart
+    constructors re-canonicalise conjunct/disjunct sets.
+    """
+    if isinstance(f, BoolConst):
+        return "true" if f.value else "false"
+    if isinstance(f, Atom):
+        expr = f.expr
+        src = linexpr_source(expr)
+        if src is None:
+            # Scale through by the denominators' lcm; positive scaling
+            # preserves `rel 0`.  (Display-exact; such atoms never come
+            # from parsed source.)
+            denoms = [c.denominator for c in expr.coeffs.values()]
+            denoms.append(expr.constant.denominator)
+            src = linexpr_source(expr.scale(lcm(*denoms)))
+            if src is None:
+                return None
+        return f"{src} {f.rel.value} 0"
+    if isinstance(f, (And, Or)):
+        parts = []
+        for arg in f.args:
+            sub = formula_source(arg)
+            if sub is None:
+                return None
+            parts.append(sub if isinstance(arg, Atom) else f"({sub})")
+        joiner = " && " if isinstance(f, And) else " || "
+        return joiner.join(parts)
+    if isinstance(f, Not):
+        sub = formula_source(f.arg)
+        return None if sub is None else f"!({sub})"
+    return None  # Exists and anything else: no source form
+
+
+# ---------------------------------------------------------------------------
+# Statements / methods / programs
+# ---------------------------------------------------------------------------
+
+
 def pretty_stmt(s: Stmt, depth: int = 0) -> str:
     pad = _INDENT * depth
     if isinstance(s, Seq):
@@ -44,7 +139,11 @@ def pretty_stmt(s: Stmt, depth: int = 0) -> str:
         out.append(pretty_stmt(s.body, depth + 1))
         out.append(f"{pad}}}")
         return "\n".join(out)
-    if isinstance(s, (Skip, VarDecl, Assign, FieldWrite, CallStmt, Return,
+    if isinstance(s, Skip):
+        # There is no `skip;` keyword in the grammar: an empty block is
+        # the concrete syntax that parses back to Skip.
+        return f"{pad}{{ }}"
+    if isinstance(s, (VarDecl, Assign, FieldWrite, CallStmt, Return,
                       Assume, Havoc)):
         return f"{pad}{s}"
     raise TypeError(f"unknown statement {type(s).__name__}")
@@ -54,12 +153,21 @@ def pretty_method(m: Method) -> str:
     params = ", ".join(str(p) for p in m.params)
     head = f"{m.ret_type} {m.name}({params})"
     lines: List[str] = [head]
-    if m.requires is not None:
-        lines.append(f"{_INDENT}// requires {m.requires!r}")
-    if m.ensures is not None:
-        lines.append(f"{_INDENT}// ensures {m.ensures!r}")
+    for kw, f in (("requires", m.requires), ("ensures", m.ensures)):
+        if f is None:
+            continue
+        src = formula_source(f)
+        if src is None:
+            lines.append(f"{_INDENT}// {kw} {f!r}  (no source form)")
+        else:
+            lines.append(f"{_INDENT}{kw} {src}")
     if m.body is None:
-        lines[-1] += ";"
+        if lines[-1] is head:
+            lines[-1] += ";"
+        elif lines[-1].lstrip().startswith("//"):
+            lines.append(f"{_INDENT};")
+        else:
+            lines[-1] += ";"
         return "\n".join(lines)
     lines.append("{")
     lines.append(pretty_stmt(m.body, 1))
@@ -67,10 +175,15 @@ def pretty_method(m: Method) -> str:
     return "\n".join(lines)
 
 
+def pretty_data_decl(d: DataDecl) -> str:
+    fields = "".join(f"\n{_INDENT}{p.type} {p.name};" for p in d.fields)
+    return f"data {d.name} {{{fields}\n}}" if d.fields else f"data {d.name} {{ }}"
+
+
 def pretty_program(p: Program) -> str:
     chunks: List[str] = []
     for d in p.data_decls.values():
-        chunks.append(str(d))
+        chunks.append(pretty_data_decl(d))
     for m in p.methods.values():
         chunks.append(pretty_method(m))
     return "\n\n".join(chunks)

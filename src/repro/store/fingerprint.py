@@ -106,6 +106,10 @@ def _dump(x: object) -> str:
     if dataclasses.is_dataclass(x):
         parts = [type(x).__name__]
         for fld in dataclasses.fields(x):
+            if fld.name == "pos":
+                # Source positions are diagnostics metadata: two programs
+                # differing only in layout must fingerprint identically.
+                continue
             parts.append(_dump(getattr(x, fld.name)))
         return "(" + " ".join(parts) + ")"
     # Types (IntType, ...) and any other leaf with a canonical __str__.
@@ -132,6 +136,14 @@ def method_digest(method: Method) -> str:
         _dump(method.body),
         _dump(tuple(method.heap_specs)) if method.heap_specs else "~",
     ]
+    if method.rank_hints:
+        # Pre-analysis ranking hints can steer which ranking function the
+        # synthesis finds first, so a summary computed with hints must not
+        # be replayed for a hint-free analysis (or vice versa).  Appending
+        # the part only when hints are present keeps every digest of a
+        # hint-free method byte-identical to the pre-hint scheme, and the
+        # differing part counts rule out aliasing.
+        parts.append("rank_hints=" + _dump(tuple(method.rank_hints)))
     blob = "\n".join(parts).encode()
     return hashlib.sha256(blob).hexdigest()
 

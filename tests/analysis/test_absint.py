@@ -1,0 +1,145 @@
+"""Interval abstract interpreter: invariants, widening, dead code."""
+
+from repro.analysis import intervals as iv
+from repro.analysis.absint import analyze_method, refine
+from repro.analysis.intervals import Interval
+from repro.lang.ast import While
+from repro.lang.parser import parse_expr, parse_program
+
+
+def _analyze(source, name="main"):
+    program = parse_program(source)
+    method = program.methods[name]
+    return program, method, analyze_method(method, program)
+
+
+def _only_while(method):
+    whiles = []
+
+    def walk(s):
+        if isinstance(s, While):
+            whiles.append(s)
+        for attr in ("then", "els", "body"):
+            sub = getattr(s, attr, None)
+            if sub is not None:
+                walk(sub)
+        for t in getattr(s, "stmts", ()):
+            walk(t)
+
+    walk(method.body)
+    assert len(whiles) == 1
+    return whiles[0]
+
+
+class TestInvariants:
+    def test_counting_loop_head_invariant(self):
+        _, m, facts = _analyze(
+            """
+            void main() { int i = 0; while (i < 10) { i = i + 1; } return; }
+            """
+        )
+        inv = facts.head_invariants[id(_only_while(m))]
+        # lower bound is stable (i starts at 0 and only grows); the upper
+        # bound 10 comes from narrowing the widened interval by the guard
+        # exit -- at the head, i <= 10 after the last increment.
+        assert inv["i"].lo == 0
+        assert inv["i"].hi is None or inv["i"].hi >= 9
+
+    def test_widening_terminates_on_unbounded_growth(self):
+        _, m, facts = _analyze(
+            "void main(int n) { int i = 0; while (i < n) { i = i + 1; } return; }"
+        )
+        inv = facts.head_invariants[id(_only_while(m))]
+        assert inv["i"].lo == 0 and inv["i"].hi is None
+
+    def test_exit_state_reflects_guard_negation(self):
+        _, _, facts = _analyze(
+            "int main() { int i = 0; while (i < 10) { i = i + 1; } return i; }"
+        )
+        assert facts.exit_state is not None
+        assert facts.exit_state["i"].lo is not None
+        assert facts.exit_state["i"].lo >= 10
+
+    def test_requires_seeds_initial_state(self):
+        _, _, facts = _analyze(
+            """
+            void main(int n)
+              requires n >= 5
+            { int b = n + 1; return; }
+            """
+        )
+        assert facts.exit_state["b"].lo == 6
+
+
+class TestDeadCode:
+    def test_dead_loop_detected(self):
+        _, m, facts = _analyze(
+            "void main() { int i = 5; while (i < 0) { i = i + 1; } return; }"
+        )
+        assert id(_only_while(m)) in facts.dead_whiles
+
+    def test_dead_then_branch(self):
+        _, _, facts = _analyze(
+            "void main() { int i = 1; if (i < 0) { i = 2; } else { i = 3; } return; }"
+        )
+        assert len(facts.dead_then) == 1 and not facts.dead_else
+
+    def test_code_after_return_recorded(self):
+        _, _, facts = _analyze(
+            "void main() { int i = 0; return; i = 1; }"
+        )
+        assert facts.dead_stmts
+
+    def test_live_loop_not_flagged(self):
+        _, m, facts = _analyze(
+            "void main() { int i = 0; while (i < 3) { i = i + 1; } return; }"
+        )
+        assert id(_only_while(m)) not in facts.dead_whiles
+        assert not facts.dead_stmts
+
+
+class TestRefine:
+    def test_comparison_narrows_both_sides(self):
+        st = {"x": iv.TOP, "y": iv.const(5)}
+        out = refine(st, parse_expr("x < y"), True)
+        assert out["x"].hi == 4
+
+    def test_negated_condition(self):
+        st = {"x": iv.TOP}
+        out = refine(st, parse_expr("x < 0"), False)
+        assert out["x"].lo == 0
+
+    def test_contradiction_is_bottom(self):
+        st = {"x": iv.const(1)}
+        assert refine(st, parse_expr("x > 3"), True) is None
+
+    def test_conjunction_refines_both(self):
+        st = {"x": iv.TOP}
+        out = refine(st, parse_expr("x >= 0 && x <= 9"), True)
+        assert out["x"] == Interval(0, 9)
+
+    def test_equality(self):
+        st = {"x": iv.TOP}
+        out = refine(st, parse_expr("x == 7"), True)
+        assert out["x"] == iv.const(7)
+
+
+class TestCallsAndHavoc:
+    def test_call_havocs_by_ref_args(self):
+        program = parse_program(
+            """
+            void bump(ref int z) { z = z + 1; return; }
+            void main() { int a = 0; int b = 0; bump(a); return; }
+            """
+        )
+        facts = analyze_method(program.methods["main"], program)
+        assert facts.exit_state["b"] == iv.const(0)
+        assert "a" not in facts.exit_state  # havocked to TOP, so dropped
+
+    def test_nondet_is_top(self):
+        _, _, facts = _analyze(
+            "void main() { int a = nondet(); int b = 1; return; }"
+        )
+        # TOP entries are dropped from the state entirely
+        assert "a" not in facts.exit_state
+        assert facts.exit_state["b"] == iv.const(1)

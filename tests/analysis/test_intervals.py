@@ -1,0 +1,68 @@
+"""Unit tests for the interval lattice."""
+
+import pytest
+
+from repro.analysis import intervals as iv
+from repro.analysis.intervals import TOP, Interval
+
+
+class TestLattice:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+    def test_join_is_hull(self):
+        assert iv.join(iv.const(1), iv.const(5)) == Interval(1, 5)
+        assert iv.join(Interval(0, 2), Interval(1, None)) == Interval(0, None)
+        assert iv.join(TOP, iv.const(7)) == TOP
+
+    def test_meet_is_intersection(self):
+        assert iv.meet(Interval(0, 10), Interval(5, 20)) == Interval(5, 10)
+        assert iv.meet(iv.at_least(0), iv.at_most(3)) == Interval(0, 3)
+        assert iv.meet(iv.const(1), iv.const(2)) is None
+
+    def test_widen_jumps_unstable_bounds(self):
+        assert iv.widen(Interval(0, 3), Interval(0, 4)) == Interval(0, None)
+        assert iv.widen(Interval(0, 3), Interval(-1, 3)) == Interval(None, 3)
+        # stable bounds survive
+        assert iv.widen(Interval(0, 3), Interval(1, 2)) == Interval(0, 3)
+
+    def test_leq_order(self):
+        assert iv.leq(iv.const(2), Interval(0, 5))
+        assert not iv.leq(Interval(0, 5), iv.const(2))
+        assert iv.leq(Interval(0, 5), TOP)
+        assert not iv.leq(TOP, Interval(0, 5))
+
+    def test_join_is_upper_bound(self):
+        a, b = Interval(-3, 1), Interval(0, None)
+        j = iv.join(a, b)
+        assert iv.leq(a, j) and iv.leq(b, j)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert iv.add(Interval(1, 2), Interval(10, 20)) == Interval(11, 22)
+        assert iv.sub(Interval(1, 2), Interval(10, 20)) == Interval(-19, -8)
+        assert iv.add(iv.at_least(0), iv.const(1)) == iv.at_least(1)
+
+    def test_negate(self):
+        assert iv.negate(Interval(1, 5)) == Interval(-5, -1)
+        assert iv.negate(iv.at_least(2)) == iv.at_most(-2)
+
+    def test_scale(self):
+        assert iv.scale(Interval(1, 3), 2) == Interval(2, 6)
+        assert iv.scale(Interval(1, 3), -1) == Interval(-3, -1)
+        assert iv.scale(TOP, 0) == iv.const(0)
+
+    def test_mul_constant_exact(self):
+        assert iv.mul(iv.const(3), Interval(1, 2)) == Interval(3, 6)
+        assert iv.mul(Interval(-1, 2), iv.const(-2)) == Interval(-4, 2)
+
+    def test_mul_corners(self):
+        assert iv.mul(Interval(-1, 2), Interval(-3, 4)) == Interval(-6, 8)
+        assert iv.mul(iv.at_least(0), Interval(1, 2)) == TOP
+
+    def test_splits(self):
+        assert iv.split_lt(Interval(0, 10), 5) == Interval(0, 4)
+        assert iv.split_ge(Interval(0, 10), 5) == Interval(5, 10)
+        assert iv.split_lt(Interval(5, 10), 5) is None

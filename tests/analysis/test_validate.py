@@ -1,0 +1,139 @@
+"""Validator tests: one structured diagnostic per failure mode."""
+
+import pytest
+
+from repro.analysis import ProgramInvalid, validate_source
+from repro.analysis.diagnostics import errors, warnings
+from repro.core import infer_source
+
+
+def _codes(diags):
+    return [d.code for d in diags]
+
+
+class TestUndefinedCallee:
+    def test_unknown_callee_is_structured_error(self):
+        _, diags = validate_source(
+            "void main() { helper(1); return; }"
+        )
+        errs = errors(diags)
+        assert _codes(errs) == ["unknown-callee"]
+        assert errs[0].method == "main"
+        assert "helper" in errs[0].message
+
+    def test_unknown_callee_carries_position(self):
+        _, diags = validate_source(
+            "void main() {\n  helper(1);\n  return;\n}"
+        )
+        (err,) = errors(diags)
+        assert err.pos is not None and err.pos[0] == 2
+
+    def test_pipeline_raises_program_invalid_not_internal_error(self):
+        # Before the validator, this died deep in the verifier with an
+        # internal KeyError; now it is a typed, renderable exception.
+        with pytest.raises(ProgramInvalid) as exc:
+            infer_source("void main() { helper(1); return; }")
+        assert any(
+            d.code == "unknown-callee" for d in exc.value.diagnostics
+        )
+        assert "unknown-callee" in str(exc.value)
+
+    def test_validate_false_opts_out(self):
+        # The opt-out exists for callers feeding already-checked ASTs;
+        # the failure then surfaces however the core happens to fail.
+        with pytest.raises(Exception) as exc:
+            infer_source("void main() { helper(1); return; }",
+                         validate=False)
+        assert not isinstance(exc.value, ProgramInvalid)
+
+
+class TestVariableChecks:
+    def test_undefined_variable(self):
+        _, diags = validate_source(
+            "void main() { int a = b + 1; return; }"
+        )
+        assert "undefined-variable" in _codes(errors(diags))
+
+    def test_maybe_undefined_on_one_branch(self):
+        _, diags = validate_source(
+            """
+            void main(int c) {
+              int a;
+              if (c > 0) { a = 1; } else { c = 0; }
+              int d = a;
+              return;
+            }
+            """
+        )
+        assert "maybe-undefined" in _codes(warnings(diags))
+
+    def test_both_branches_defined_is_clean(self):
+        _, diags = validate_source(
+            """
+            void main(int c) {
+              int a;
+              if (c > 0) { a = 1; } else { a = 2; }
+              int d = a;
+              return;
+            }
+            """
+        )
+        assert not diags
+
+    def test_duplicate_param(self):
+        _, diags = validate_source(
+            "void main(int x, int x) { return; }"
+        )
+        assert "duplicate-param" in _codes(errors(diags))
+
+
+class TestCallShapeChecks:
+    TWO = "void two(int a, int b) { return; }\n"
+
+    def test_call_arity(self):
+        _, diags = validate_source(
+            self.TWO + "void main() { two(1); return; }"
+        )
+        assert "call-arity" in _codes(errors(diags))
+
+    def test_void_call_in_expression(self):
+        _, diags = validate_source(
+            self.TWO + "void main() { int a = two(1, 2); return; }"
+        )
+        assert "void-call-value" in _codes(errors(diags))
+
+    def test_ref_arg_must_be_var(self):
+        _, diags = validate_source(
+            "void bump(ref int z) { z = z + 1; return; }\n"
+            "void main() { bump(1 + 2); return; }"
+        )
+        assert "ref-arg-not-var" in _codes(errors(diags))
+
+
+class TestSpecAndTypeChecks:
+    def test_spec_free_var(self):
+        _, diags = validate_source(
+            """
+            int f(int x)
+              requires y > 0
+            { return x; }
+            void main() { int a = f(1); return; }
+            """
+        )
+        assert "spec-free-var" in _codes(warnings(diags))
+
+    def test_unknown_type_in_new(self):
+        _, diags = validate_source(
+            "void main() { node p = new node(1); return; }"
+        )
+        assert "unknown-type" in _codes(errors(diags))
+
+    def test_valid_program_is_clean(self):
+        _, diags = validate_source(
+            """
+            data node { int val; node next; }
+            int f(int x) { if (x < 0) { return 0; } else { return f(x - 1); } }
+            void main() { int a = f(3); node p = new node(a, null); return; }
+            """
+        )
+        assert not errors(diags)

@@ -110,3 +110,43 @@ class TestLexicographic:
         r = ranks["U"]
         rn = r.substitute({"x": var("x'")})
         assert entails(ctx, conj(atom_ge(r, 0), atom_ge(r - rn, 1)))
+
+
+class TestFocusedSynthesis:
+    """Pre-analysis rank hints: focused template first, full fallback."""
+
+    def _edge(self):
+        # x decreases, y does whatever: x is the only useful measure var
+        ctx = conj(
+            atom_ge(x, 1),
+            atom_eq(var("x'"), x - 1),
+            atom_eq(var("y'"), y + 1),
+        )
+        return Edge("U@m", "U@m", ctx, ("x", "y"), ("x'", "y'"))
+
+    def test_good_hint_yields_focused_rank(self):
+        s = RankSynthesizer(
+            {"U@m": ("x", "y")}, focus={"m": ("x",)}
+        )
+        ranks = s.synthesize_linear(["U@m"], [self._edge()])
+        assert ranks is not None
+        assert ranks["U@m"].variables() <= {"x"}
+
+    def test_bad_hint_falls_back_to_full_template(self):
+        # hinting only the growing variable cannot work; completeness
+        # demands the full template still finds the x-based rank
+        s = RankSynthesizer(
+            {"U@m": ("x", "y")}, focus={"m": ("y",)}
+        )
+        ranks = s.synthesize_linear(["U@m"], [self._edge()])
+        assert ranks is not None
+
+    def test_focused_indices_gating(self):
+        s = RankSynthesizer(
+            {"U@m": ("x", "y"), "V@n": ("x", "y")},
+            focus={"m": ("y",), "n": ("x", "y")},
+        )
+        assert s._focused_indices("U@m") == [1]
+        # full-tuple hint is not a proper subset: no focused attempt
+        assert s._focused_indices("V@n") is None
+        assert s._focused_indices("U@unknown") is None

@@ -1,0 +1,114 @@
+"""Property test: the pretty-printer emits parseable, faithful source.
+
+``parse_program(pretty_program(p))`` must reproduce *p* structurally
+(AST equality ignores source positions -- they are ``compare=False``
+fields), for randomly generated programs over the printable fragment.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+
+NAMES = ["a", "b", "c", "n"]
+
+int_exprs = st.recursive(
+    st.one_of(
+        st.integers(min_value=0, max_value=99).map(ast.IntLit),
+        st.sampled_from(NAMES).map(ast.Var),
+    ),
+    lambda sub: st.one_of(
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: ast.Binary(t[0], t[1], t[2])
+        ),
+        sub.map(lambda e: ast.Unary("-", e)),
+    ),
+    max_leaves=6,
+)
+
+bool_exprs = st.recursive(
+    st.tuples(
+        st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+        int_exprs,
+        int_exprs,
+    ).map(lambda t: ast.Binary(t[0], t[1], t[2])),
+    lambda sub: st.one_of(
+        st.tuples(st.sampled_from(["&&", "||"]), sub, sub).map(
+            lambda t: ast.Binary(t[0], t[1], t[2])
+        ),
+        sub.map(lambda e: ast.Unary("!", e)),
+    ),
+    max_leaves=4,
+)
+
+assigns = st.tuples(st.sampled_from(NAMES), int_exprs).map(
+    lambda t: ast.Assign(t[0], t[1])
+)
+
+stmts = st.recursive(
+    st.one_of(
+        assigns,
+        st.tuples(st.sampled_from(NAMES), int_exprs).map(
+            lambda t: ast.VarDecl(ast.INT, t[0], t[1])
+        ),
+        bool_exprs.map(ast.Assume),
+    ),
+    lambda sub: st.one_of(
+        st.tuples(bool_exprs, sub, sub).map(
+            lambda t: ast.If(t[0], t[1], t[2])
+        ),
+        st.tuples(bool_exprs, sub).map(lambda t: ast.While(t[0], t[1])),
+        st.lists(sub, min_size=2, max_size=3).map(lambda xs: ast.seq(*xs)),
+    ),
+    max_leaves=8,
+)
+
+
+def _method(body_stmts):
+    params = [ast.Param(ast.INT, n) for n in NAMES]
+    body = ast.seq(*body_stmts, ast.Return(None))
+    return ast.Method(ast.VOID, "main", params, body)
+
+
+programs = st.lists(stmts, min_size=0, max_size=4).map(
+    lambda body: ast.Program(data_decls={}, methods={"main": _method(body)})
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=120, deadline=None)
+    @given(programs)
+    def test_parse_of_pretty_is_identity(self, program):
+        text = pretty_program(program)
+        reparsed = parse_program(text)
+        assert reparsed.methods["main"] == program.methods["main"], text
+
+    def test_round_trip_with_specs_and_calls(self):
+        source = """
+data node { int val; node next; }
+
+int f(int x)
+  requires x >= 0
+  ensures res >= 0
+{
+  if (x < 1) { return 0; } else { return f(x - 2); }
+}
+
+void main(int n) {
+  int a = f(n);
+  node p = new node(a, null);
+  p.val = a + 1;
+  int q = p.val;
+  while (a < n && q > 0) { a = a + 1; }
+  return;
+}
+"""
+        program = parse_program(source)
+        reparsed = parse_program(pretty_program(program))
+        assert reparsed.data_decls == program.data_decls
+        for name in program.methods:
+            assert reparsed.methods[name] == program.methods[name]
+        # and the round trip is a fixpoint: pretty(parse(pretty)) stable
+        assert pretty_program(reparsed) == pretty_program(program)

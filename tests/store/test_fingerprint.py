@@ -103,3 +103,29 @@ class TestSccKeys:
         after = _keys_by_scc(edited)
         changed = {s for s in before if before[s] != after[s]}
         assert changed == {("bottom",), ("left",), ("top",)}
+
+
+class TestPositionAndHintFields:
+    """Source positions never reach the digest; ranking hints always do."""
+
+    def test_positions_do_not_perturb_digest(self):
+        # identical program text shifted by blank lines and indentation:
+        # every AST node gets different pos, digests must be identical
+        shifted = "\n\n\n" + DIAMOND.replace("\n", "\n   ")
+        d1 = {
+            name: method_digest(m)
+            for name, m in parse_program(DIAMOND).methods.items()
+        }
+        d2 = {
+            name: method_digest(m)
+            for name, m in parse_program(shifted).methods.items()
+        }
+        assert d1 == d2
+
+    def test_rank_hints_change_digest(self):
+        # a seeded/hinted loop method must not alias the plain one in the
+        # store: the cached spec was computed under a different search
+        program = parse_program(DIAMOND)
+        base = method_digest(program.methods["bottom"])
+        program.methods["bottom"].rank_hints = ("n",)
+        assert method_digest(program.methods["bottom"]) != base
