@@ -41,6 +41,7 @@ __all__ = [
     "BackendUnsupported",
     "CubeBackend",
     "available_backends",
+    "backend_cache_stats",
     "clear_backend_caches",
     "get_backend",
 ]
@@ -147,3 +148,17 @@ def clear_backend_caches() -> None:
     """Clear the private memo caches of every instantiated backend."""
     for backend in _INSTANCES.values():
         backend.clear_caches()
+
+
+def backend_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Per-instantiated-backend private cache counters (may be empty).
+
+    Only backends actually constructed in this process appear; backends
+    whose memo is a module-level cache reported elsewhere (the reference
+    engine's FM cube memo) report ``{}`` and are omitted."""
+    out: Dict[str, Dict[str, int]] = {}
+    for name, backend in _INSTANCES.items():
+        stats = backend.cache_stats()
+        if stats:
+            out[name] = stats
+    return out

@@ -97,5 +97,14 @@ class CubeBackend:
     def clear_caches(self) -> None:
         """Drop any backend-private memo state (no-op by default)."""
 
+    def cache_stats(self) -> Dict[str, int]:
+        """Size/eviction counters of any backend-private memo state.
+
+        Surfaced by :func:`repro.arith.solver.cache_telemetry` (and the
+        analysis daemon's ``/stats`` endpoint) so a long-lived process can
+        watch its resident caches; backends without private memo state
+        report ``{}``."""
+        return {}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"

@@ -372,3 +372,9 @@ class MatrixBackend(CubeBackend):
 
     def clear_caches(self) -> None:
         self._sat_cache.clear(reset_evictions=True)
+
+    def cache_stats(self) -> Dict[str, int]:
+        return {
+            "sat_size": len(self._sat_cache),
+            "sat_evictions": self._sat_cache.evictions,
+        }

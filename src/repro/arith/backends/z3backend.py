@@ -114,3 +114,9 @@ class Z3Backend(CubeBackend):
 
     def clear_caches(self) -> None:
         self._sat_cache.clear(reset_evictions=True)
+
+    def cache_stats(self) -> Dict[str, int]:
+        return {
+            "sat_size": len(self._sat_cache),
+            "sat_evictions": self._sat_cache.evictions,
+        }

@@ -33,6 +33,7 @@ keep working unchanged.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from fractions import Fraction
@@ -496,7 +497,15 @@ class SolverContext:
 
     def clear(self, reset_stats: bool = True) -> None:
         """Drop this context's caches (and, by default, its statistics).
-        The assumption stack is left untouched."""
+        The assumption stack is left untouched.
+
+        Safe to call while another thread is mid-query against this
+        context: the underlying :class:`~repro.arith.lru.LRUCache` swaps
+        its backing dict rather than clearing it in place, so concurrent
+        readers finish against the old (stale but valid) memo and the
+        next probe sees the empty one.  See
+        :func:`repro.arith.solver.clear_caches` for the process-wide
+        contract."""
         self._sat.clear()
         self._entail.clear()
         self._project.clear()
@@ -516,13 +525,21 @@ class SolverContext:
 # ---------------------------------------------------------------------------
 
 _DEFAULT_CONTEXT: Optional[SolverContext] = None
+_DEFAULT_CONTEXT_LOCK = threading.Lock()
 
 
 def default_context() -> SolverContext:
-    """The process-wide context used when callers pass ``ctx=None``."""
+    """The process-wide context used when callers pass ``ctx=None``.
+
+    Lazily constructed under a lock: two threads racing the first call
+    (daemon workers warming up concurrently) must agree on one context,
+    or half the process would populate caches the other half never
+    probes."""
     global _DEFAULT_CONTEXT
     if _DEFAULT_CONTEXT is None:
-        _DEFAULT_CONTEXT = SolverContext()
+        with _DEFAULT_CONTEXT_LOCK:
+            if _DEFAULT_CONTEXT is None:
+                _DEFAULT_CONTEXT = SolverContext()
     return _DEFAULT_CONTEXT
 
 

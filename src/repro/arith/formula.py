@@ -28,6 +28,7 @@ formula, cache or caller mentions them.
 
 from __future__ import annotations
 
+import contextvars
 import enum
 import itertools
 import weakref
@@ -417,27 +418,60 @@ class Exists(Formula):
         return f"(exists {', '.join(self.bound)} . {self.body!r})"
 
 
-_FRESH_COUNTER = itertools.count()
+#: Fresh-variable counter.  A :class:`contextvars.ContextVar` rather than
+#: a module global so that concurrent analyses (daemon worker threads,
+#: see ``docs/serve.md``) each count independently: every thread starts
+#: from the default and :func:`fresh_name_scope` gives one analysis a
+#: private, zero-based counter.  Names generated by *independent*
+#: analyses may therefore coincide -- which is sound (a formula's meaning
+#: is a pure function of its structure; two analyses never mix free
+#: variables inside one query) and is exactly what makes structural
+#: fingerprints of generated names reproducible without a process-global
+#: reset.
+_FRESH_COUNTER: contextvars.ContextVar[int] = contextvars.ContextVar(
+    "repro-fresh-name-counter", default=0
+)
 
 
 def reset_fresh_names() -> None:
-    """Restart the fresh-variable counter at zero.
+    """Restart the fresh-variable counter at zero (current context only).
 
-    Only safe when no formulas from earlier analyses are alive (the bench
-    runner's cold-start protocol: caches cleared, cyclic garbage
-    collected): fresh names must never collide with live ones.  Resetting
-    makes an analysis independent of how many fresh names the process
-    handed out before it, which is what keeps a run inside a long-lived
-    process identical to the same run in a freshly forked shard worker.
+    Within one analysis this is only safe when no formulas from earlier
+    analyses of *that same scope* are alive (the bench runner's cold-start
+    protocol: caches cleared, cyclic garbage collected): fresh names must
+    never collide with live ones they could be mixed with in one query.
+    Resetting makes an analysis independent of how many fresh names the
+    context handed out before it, which is what keeps a run inside a
+    long-lived process identical to the same run in a freshly forked
+    shard worker.
     """
-    global _FRESH_COUNTER
-    _FRESH_COUNTER = itertools.count()
+    _FRESH_COUNTER.set(0)
+
+
+def fresh_scope() -> contextvars.Token:
+    """Enter a zero-based fresh-name scope; returns the reset token.
+
+    Used (via :func:`repro.core.pipeline.fresh_name_scope`) to give each
+    analysis of a long-lived multi-threaded process its own deterministic
+    counter.  Pass the token to :func:`exit_fresh_scope` to restore the
+    caller's counter."""
+    return _FRESH_COUNTER.set(0)
+
+
+def exit_fresh_scope(token: contextvars.Token) -> None:
+    _FRESH_COUNTER.reset(token)
+
+
+def _next_fresh() -> int:
+    n = _FRESH_COUNTER.get()
+    _FRESH_COUNTER.set(n + 1)
+    return n
 
 
 def _fresh_name(base: str, context: Formula) -> str:
     taken = context.free_vars()
     while True:
-        cand = f"{base}#{next(_FRESH_COUNTER)}"
+        cand = f"{base}#{_next_fresh()}"
         if cand not in taken:
             return cand
 
@@ -679,6 +713,12 @@ def clear_dnf_cache() -> None:
 def dnf_cache_stats() -> Dict[str, int]:
     """Size and eviction count of the module-level DNF cache."""
     return {"size": len(_DNF_CACHE), "evictions": _DNF_CACHE.evictions}
+
+
+def intern_table_size() -> int:
+    """Number of live interned formula nodes (weak table, so this tracks
+    the resident formula universe of a long-lived process)."""
+    return len(_INTERN)
 
 
 def _contains_exists(p: Formula) -> bool:

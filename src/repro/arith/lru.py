@@ -72,7 +72,16 @@ class LRUCache:
         data[key] = value
 
     def clear(self, reset_evictions: bool = False) -> None:
-        self._data.clear()
+        """Drop every entry.
+
+        The backing dict is *swapped* for a fresh one rather than cleared
+        in place: a concurrent reader (a daemon worker mid-query, an
+        abandoned bench watchdog) that already fetched the old mapping
+        keeps probing a consistent -- merely stale -- memo, instead of
+        racing ``dict.clear`` mid-iteration.  Memo entries are pure
+        functions of their keys, so serving a stale hit is always correct.
+        """
+        self._data = OrderedDict()
         if reset_evictions:
             self.evictions = 0
 

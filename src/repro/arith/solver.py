@@ -37,6 +37,7 @@ and resets all statistics.
 
 from __future__ import annotations
 
+import threading
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -47,8 +48,16 @@ from repro.arith.formula import (
     Formula,
     clear_dnf_cache,
     conj,
+    dnf_cache_stats,
+    intern_table_size,
     to_dnf,
 )
+
+#: Serialises concurrent :func:`clear_caches` calls so two resets cannot
+#: interleave their per-cache swaps (each individual swap is already safe
+#: under concurrent readers; the lock only keeps a *pair* of resets from
+#: producing a half-old, half-new cache family).
+_CLEAR_LOCK = threading.Lock()
 
 
 def clear_caches() -> None:
@@ -56,13 +65,47 @@ def clear_caches() -> None:
 
     Clears the default context's caches and stats, the module-level DNF
     memo, the FM cube-satisfiability memo and the private memo of every
-    instantiated solver backend (mostly useful in benchmarks)."""
+    instantiated solver backend (mostly useful in benchmarks).
+
+    **Thread contract.**  Safe to call while other threads are mid-query:
+    every cache is an :class:`~repro.arith.lru.LRUCache`, whose ``clear``
+    swaps the backing dict instead of mutating it, so a concurrent reader
+    either finishes against the old memo (stale but valid -- memo entries
+    are pure functions of their keys) or starts cold against the new one.
+    What this call does *not* do is snapshot-reset a running query's
+    statistics: counters incremented by in-flight queries after the reset
+    land in the fresh statistics, so numbers sampled while analyses are
+    running are best-effort.  Long-lived processes (the analysis daemon,
+    see ``docs/serve.md``) normally never call this at all -- resident
+    caches are the point -- and rely on LRU bounds for growth control.
+    """
     from repro.arith.backends import clear_backend_caches
 
-    default_context().clear(reset_stats=True)
-    clear_dnf_cache()
-    fm.clear_fm_caches()
-    clear_backend_caches()
+    with _CLEAR_LOCK:
+        default_context().clear(reset_stats=True)
+        clear_dnf_cache()
+        fm.clear_fm_caches()
+        clear_backend_caches()
+
+
+def cache_telemetry() -> Dict[str, object]:
+    """Sizes and eviction counters of every process-resident memo layer.
+
+    One observability call for a process that never exits: the default
+    context's per-kind caches, the module-level DNF and FM cube memos,
+    each instantiated backend's private memo, and the live size of the
+    formula intern table (weak, so it tracks the resident formula
+    universe).  All numbers are read without locking -- they are
+    monitoring data, exact only in a quiescent process."""
+    from repro.arith.backends import backend_cache_stats
+
+    return {
+        "default_context": default_context().cache_sizes(),
+        "dnf": dnf_cache_stats(),
+        "fm": fm.fm_cache_stats(),
+        "backends": backend_cache_stats(),
+        "interned_formulas": intern_table_size(),
+    }
 
 
 def solver_stats(ctx: Optional[SolverContext] = None) -> SolverStats:

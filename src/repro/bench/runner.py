@@ -153,20 +153,42 @@ def _cold_start() -> None:
 _REARM_INTERVAL = 0.05
 
 
-def _with_timeout(fn, seconds: float):
-    """Run *fn* under a wall-clock budget.
+def run_with_timeout(fn, seconds: float):
+    """Run *fn* under a wall-clock budget; raises :class:`AnalysisTimeout`
+    on expiry.
 
     On the main thread this uses a SIGALRM interval timer; nesting is
     supported (a previously armed ``ITIMER_REAL`` is saved and re-armed
     with its remaining budget afterwards), and the inner budget never
     outlives an enclosing one.  Off the main thread -- where Python
-    forbids ``signal.signal`` -- a daemon-thread watchdog is used instead:
-    on expiry the worker is abandoned (best effort; it cannot be
-    interrupted and may keep computing until the process exits).
-    """
+    forbids ``signal.signal`` with a ``ValueError``, and which is exactly
+    where analysis-daemon worker threads run (:mod:`repro.serve`) -- the
+    call routes to a daemon-thread watchdog instead: on expiry the worker
+    is abandoned (best effort; it cannot be interrupted and may keep
+    computing until the process exits).  The routing is belt-and-braces:
+    besides the thread check, a ``ValueError`` out of the signal
+    machinery itself (environments where the main-thread test is not the
+    whole story, e.g. non-main interpreters) also falls back to the
+    watchdog, so no caller ever sees the signal layer's refusal."""
     if threading.current_thread() is not threading.main_thread():
         return _with_timeout_watchdog(fn, seconds)
+    # Capability probe: re-installing the current handler is a no-op but
+    # raises the same ValueError signal.signal would raise inside the
+    # SIGALRM path.  Probing first (instead of catching around the real
+    # call) guarantees *fn* can never be started twice.  A None handler
+    # (installed by non-Python code) cannot be re-installed; skip the
+    # probe and trust the main-thread check above.
+    probe = signal.getsignal(signal.SIGALRM)
+    if probe is not None:
+        try:
+            signal.signal(signal.SIGALRM, probe)
+        except ValueError:
+            return _with_timeout_watchdog(fn, seconds)
     return _with_timeout_sigalrm(fn, seconds)
+
+
+#: Historical private alias (the public name is :func:`run_with_timeout`).
+_with_timeout = run_with_timeout
 
 
 def _with_timeout_sigalrm(fn, seconds: float):

@@ -24,8 +24,9 @@ computed ones would.
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, TYPE_CHECKING, Tuple, Union
+from typing import Dict, Iterator, List, Optional, TYPE_CHECKING, Tuple, Union
 
 from repro.arith.context import SolverContext, SolverStats
 from repro.arith.solver import is_sat
@@ -43,6 +44,39 @@ if TYPE_CHECKING:  # pragma: no cover
 #: What callers may pass as ``store=``: a directory path or an open
 #: :class:`repro.store.specstore.SpecStore` (``None`` disables caching).
 StoreArg = Union[None, str, "SpecStore"]
+
+
+@contextmanager
+def fresh_name_scope() -> Iterator[None]:
+    """Run the enclosed analysis with private, zero-based fresh-name
+    counters (formula fresh variables, nondet names, fresh pointers).
+
+    This is what makes :func:`infer_program` *reentrant and
+    thread-dispatchable* in a long-lived process: the counters are
+    :class:`contextvars.ContextVar`-backed, so the scope is local to the
+    current thread/task -- concurrent analyses neither perturb each
+    other's generated names nor inherit the process's history, and the
+    same source therefore desugars/abstracts to byte-identical structures
+    (hence identical store fingerprints, :mod:`repro.store.fingerprint`)
+    on every call.  Name reuse *across* scopes is sound: a formula's
+    meaning is a pure function of its structure, and formulas from
+    different analyses never mix free variables inside one query --
+    structurally identical ones interning to the same node is exactly
+    what makes resident caches warm across requests (``docs/serve.md``).
+    """
+    from repro.arith import formula as _formula
+    from repro.lang import to_arith as _to_arith
+    from repro.seplog import heap as _heap
+
+    f_tok = _formula.fresh_scope()
+    a_tok = _to_arith.fresh_scope()
+    h_tok = _heap.fresh_ptr_scope()
+    try:
+        yield
+    finally:
+        _heap.exit_fresh_ptr_scope(h_tok)
+        _to_arith.exit_fresh_scope(a_tok)
+        _formula.exit_fresh_scope(f_tok)
 
 
 class Verdict(enum.Enum):
@@ -240,6 +274,7 @@ def infer_program(
     preanalysis: bool = False,
     check_preanalysis: bool = False,
     validate: bool = True,
+    isolate_names: bool = False,
 ) -> InferenceResult:
     """Infer termination/non-termination summaries for every method.
 
@@ -310,6 +345,16 @@ def infer_program(
         raise :class:`repro.analysis.diagnostics.ProgramInvalid` with
         position-carrying diagnostics instead of surfacing as internal
         errors mid-pipeline.  Skipped for ``desugared=True`` input.
+    isolate_names:
+        Run the whole inference inside :func:`fresh_name_scope`: private
+        zero-based fresh-name counters, local to the calling thread/task.
+        This makes the call reentrant and safely dispatchable to worker
+        threads (the analysis daemon, :mod:`repro.serve`, sets it): no
+        process-global counter state is read or written, and the same
+        source yields the same generated names -- hence the same store
+        fingerprints -- on every call, with no cold-start reset.  The
+        default (``False``) preserves the historical process-global
+        numbering the bench cold-start protocol manages explicitly.
 
     Returns
     -------
@@ -323,6 +368,15 @@ def infer_program(
         and sequential.
     """
     from repro.core.scheduler import resolve_jobs
+
+    if isolate_names:
+        with fresh_name_scope():
+            return infer_program(
+                program, max_iter=max_iter, desugared=desugared,
+                time_budget=time_budget, solver_ctx=solver_ctx, jobs=jobs,
+                store=store, backend=backend, preanalysis=preanalysis,
+                check_preanalysis=check_preanalysis, validate=validate,
+            )
 
     if check_preanalysis:
         from repro.analysis.check import checked_infer  # local: avoid cycle
@@ -409,17 +463,19 @@ def infer_source(
     source: str, max_iter: int = 8, time_budget: float = 30.0,
     jobs: int = 1, store: StoreArg = None, backend: Optional[str] = None,
     preanalysis: bool = False, check_preanalysis: bool = False,
-    validate: bool = True,
+    validate: bool = True, isolate_names: bool = False,
 ) -> InferenceResult:
     """Parse, desugar and infer a program given as concrete syntax.
 
     ``jobs``, ``store``, ``backend``, ``preanalysis``,
-    ``check_preanalysis`` and ``validate`` are forwarded to
-    :func:`infer_program` unchanged (parallel SCC analysis; persistent
-    summary cache; decision-procedure backend; dataflow pre-analysis and
-    its differential self-check; lint layer)."""
+    ``check_preanalysis``, ``validate`` and ``isolate_names`` are
+    forwarded to :func:`infer_program` unchanged (parallel SCC analysis;
+    persistent summary cache; decision-procedure backend; dataflow
+    pre-analysis and its differential self-check; lint layer; reentrant
+    thread-dispatchable name scoping)."""
     return infer_program(
         parse_program(source), max_iter=max_iter, time_budget=time_budget,
         jobs=jobs, store=store, backend=backend, preanalysis=preanalysis,
         check_preanalysis=check_preanalysis, validate=validate,
+        isolate_names=isolate_names,
     )

@@ -9,7 +9,7 @@ numeric abstraction used by :mod:`repro.seplog`.
 
 from __future__ import annotations
 
-import itertools
+import contextvars
 from typing import Callable, Optional
 
 from repro.arith.formula import (
@@ -45,18 +45,34 @@ class PurityError(Exception):
     """Raised when a non-pure expression is translated."""
 
 
-_FRESH = itertools.count()
+# Context-local like the formula fresh-name counter (see
+# repro.arith.formula._FRESH_COUNTER for the concurrency rationale).
+_FRESH: contextvars.ContextVar[int] = contextvars.ContextVar(
+    "repro-nondet-counter", default=0
+)
 
 
 def default_fresh(prefix: str = "nd") -> str:
-    return f"{prefix}_{next(_FRESH)}"
+    n = _FRESH.get()
+    _FRESH.set(n + 1)
+    return f"{prefix}_{n}"
 
 
 def reset_fresh() -> None:
-    """Restart the nondet-name counter (bench cold-start protocol; see
+    """Restart the nondet-name counter in the current context (bench
+    cold-start protocol; see
     :func:`repro.arith.formula.reset_fresh_names`)."""
-    global _FRESH
-    _FRESH = itertools.count()
+    _FRESH.set(0)
+
+
+def fresh_scope() -> contextvars.Token:
+    """Enter a zero-based nondet-name scope; see
+    :func:`repro.arith.formula.fresh_scope`."""
+    return _FRESH.set(0)
+
+
+def exit_fresh_scope(token: contextvars.Token) -> None:
+    _FRESH.reset(token)
 
 
 def expr_to_linexpr(

@@ -17,7 +17,7 @@ The three predicates of the paper are built in::
 
 from __future__ import annotations
 
-import itertools
+import contextvars
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -167,18 +167,34 @@ class HeapSpec:
         return f"requires {self.pre!r} ensures {self.post!r}"
 
 
-_FRESH_PTR = itertools.count()
+# Context-local like the formula fresh-name counter (see
+# repro.arith.formula._FRESH_COUNTER for the concurrency rationale).
+_FRESH_PTR: contextvars.ContextVar[int] = contextvars.ContextVar(
+    "repro-fresh-ptr-counter", default=0
+)
 
 
 def fresh_ptr(base: str = "p") -> str:
-    return f"{base}%{next(_FRESH_PTR)}"
+    n = _FRESH_PTR.get()
+    _FRESH_PTR.set(n + 1)
+    return f"{base}%{n}"
 
 
 def reset_fresh_ptrs() -> None:
-    """Restart the fresh-pointer counter (bench cold-start protocol; see
+    """Restart the fresh-pointer counter in the current context (bench
+    cold-start protocol; see
     :func:`repro.arith.formula.reset_fresh_names`)."""
-    global _FRESH_PTR
-    _FRESH_PTR = itertools.count()
+    _FRESH_PTR.set(0)
+
+
+def fresh_ptr_scope() -> contextvars.Token:
+    """Enter a zero-based fresh-pointer scope; see
+    :func:`repro.arith.formula.fresh_scope`."""
+    return _FRESH_PTR.set(0)
+
+
+def exit_fresh_ptr_scope(token: contextvars.Token) -> None:
+    _FRESH_PTR.reset(token)
 
 
 def unfold(

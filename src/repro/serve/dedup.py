@@ -1,0 +1,143 @@
+"""Request fingerprints and the in-flight/completed deduplication table.
+
+**Fingerprints.**  A request is deduplicated by *structure*, not by
+source bytes: the parsed program's per-method digests
+(:func:`repro.store.fingerprint.method_digest` -- position-free, so
+layout/whitespace edits do not change them) are combined with the
+analysis knobs into one SHA-256.  Two near-identical submissions (same
+program, reformatted) therefore share a fingerprint, while any change to
+a body, signature, contract or knob produces a new one.  This is the
+same digest family the persistent spec store keys on, applied one level
+up: the store dedups per-SCC *summaries* across processes, this table
+dedups whole *requests* within the daemon.
+
+**Table.**  Two layers, consulted in order:
+
+* ``completed`` -- an LRU of fully serialized responses.  A hit costs a
+  dict probe and returns the leader's bytes verbatim.
+* ``in_flight`` -- fingerprint -> ``asyncio.Future``.  A request arriving
+  while the same analysis runs *joins* the future instead of starting a
+  second analysis; the leader resolves it with the shared response.
+
+Concurrency model: every method is called from the event-loop thread
+only (the server awaits worker results back onto the loop before
+touching the table), so the table needs no locking and its counters are
+exact.  Failed analyses that are deterministic functions of the request
+(lint rejections) are cached like successes; timeouts and internal
+errors resolve their joiners but are *not* cached, so a transient
+failure never poisons the table.  (Parse errors never reach the table at
+all -- fingerprints are computed over the *parsed* program.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from repro.arith.lru import LRUCache
+from repro.lang.ast import Program
+from repro.store.fingerprint import FINGERPRINT_VERSION, method_digest
+
+#: Completed-response cache capacity (entries; one entry is one serialized
+#: response, typically a few KB).
+DEFAULT_COMPLETED_CAPACITY = 4096
+
+
+def request_fingerprint(program: Program, knobs: Dict[str, object]) -> str:
+    """Structural fingerprint of one analyze request.
+
+    Digests every method of the parsed (pre-desugaring) program plus the
+    canonicalized knob mapping.  Positions are excluded by
+    :func:`~repro.store.fingerprint.method_digest`, so formatting-only
+    variants of a program collide -- deliberately."""
+    h = hashlib.sha256()
+    h.update(f"tnt-request:v{FINGERPRINT_VERSION}\n".encode())
+    for name in sorted(program.methods):
+        h.update(name.encode())
+        h.update(b"=")
+        h.update(method_digest(program.methods[name]).encode())
+        h.update(b"\n")
+    for key in sorted(knobs):
+        h.update(f"{key}={knobs[key]!r}\n".encode())
+    return h.hexdigest()
+
+
+@dataclass
+class CachedResponse:
+    """One completed response: HTTP status plus the serialized body."""
+
+    status: int
+    body: bytes
+
+
+@dataclass
+class DedupCounters:
+    """Exact accounting of how requests were satisfied (event-loop only)."""
+
+    leaders: int = 0   # requests that started an analysis
+    joins: int = 0     # requests that awaited an identical in-flight one
+    hits: int = 0      # requests served from the completed cache
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"leaders": self.leaders, "joins": self.joins, "hits": self.hits}
+
+
+class DedupTable:
+    """In-flight + completed request deduplication (event-loop only)."""
+
+    def __init__(self, completed_capacity: int = DEFAULT_COMPLETED_CAPACITY):
+        self.completed: LRUCache = LRUCache(completed_capacity)
+        self.in_flight: Dict[str, "asyncio.Future[CachedResponse]"] = {}
+        self.counters = DedupCounters()
+
+    def claim(
+        self, fingerprint: str
+    ) -> Tuple[str, Union[CachedResponse, "asyncio.Future[CachedResponse]", None]]:
+        """Route one request: ``("hit", response)``, ``("join", future)``
+        or ``("lead", None)``.
+
+        A ``lead`` outcome does *not* register anything yet -- the caller
+        decides whether it has pool capacity and then calls
+        :meth:`begin` (or rejects the request with no table side
+        effects)."""
+        cached = self.completed.get(fingerprint)
+        if cached is not None:
+            self.counters.hits += 1
+            return "hit", cached
+        fut = self.in_flight.get(fingerprint)
+        if fut is not None:
+            self.counters.joins += 1
+            return "join", fut
+        return "lead", None
+
+    def begin(self, fingerprint: str) -> "asyncio.Future[CachedResponse]":
+        """Register this request as the in-flight leader for its
+        fingerprint and return the future later joiners will await."""
+        fut: "asyncio.Future[CachedResponse]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self.in_flight[fingerprint] = fut
+        self.counters.leaders += 1
+        return fut
+
+    def finish(
+        self, fingerprint: str, response: CachedResponse, cacheable: bool
+    ) -> None:
+        """Resolve the in-flight future with *response* and, when the
+        outcome is a deterministic function of the request, publish it to
+        the completed cache for future hits."""
+        if cacheable:
+            self.completed.put(fingerprint, response)
+        fut = self.in_flight.pop(fingerprint, None)
+        if fut is not None and not fut.done():
+            fut.set_result(response)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            **self.counters.as_dict(),
+            "in_flight": len(self.in_flight),
+            "cached_responses": len(self.completed),
+            "cache_evictions": self.completed.evictions,
+        }

@@ -52,6 +52,7 @@ import hashlib
 import os
 import pickle
 import struct
+import time
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
@@ -66,6 +67,11 @@ STORE_VERSION = 1
 
 _HEADER = struct.Struct(">4sH")  # magic, version
 
+#: Age (seconds) past which an orphaned write-temporary is reclaimed even
+#: when its pid cannot be proven dead (pid reuse, writers on other hosts).
+#: Far above any plausible in-flight write, far below "leaks forever".
+_TMP_MAX_AGE = 3600.0
+
 
 class SpecStore:
     """A content-addressed summary store rooted at a directory.
@@ -78,6 +84,7 @@ class SpecStore:
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         (self.root / "objects").mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp()
 
     def __reduce__(self):
         return (SpecStore, (str(self.root),))
@@ -161,12 +168,56 @@ class SpecStore:
             tmp.write_bytes(blob)
             os.replace(tmp, path)
         finally:
+            # Exception-safe cleanup: whether write_bytes failed half-way
+            # (disk full) or os.replace failed (the publish succeeded case
+            # leaves no tmp file, hence missing_ok), no partial tmp file
+            # survives this call.  Only a hard crash can orphan one --
+            # those are swept by _sweep_stale_tmp at the next store open.
             try:
-                tmp.unlink()
+                tmp.unlink(missing_ok=True)
             except OSError:
                 pass
 
     # -- maintenance ---------------------------------------------------------
+
+    def _sweep_stale_tmp(self) -> None:
+        """Delete orphaned ``.{key}.{pid}.tmp`` files at store open.
+
+        The write path cleans its tmp file even on exceptions, so orphans
+        only arise from hard crashes (SIGKILL, power loss) between
+        ``write_bytes`` and ``os.replace``.  A tmp file is considered
+        stale -- and removed -- when the pid embedded in its name is no
+        longer alive on this host, or when it is older than
+        :data:`_TMP_MAX_AGE` (covering pid reuse and writers on other
+        hosts sharing the directory); a live writer's in-flight tmp file
+        is left alone so its pending ``os.replace`` still succeeds.
+        Purely best-effort: any OSError leaves the file for a later
+        sweep."""
+        now = time.time()
+        for tmp in (self.root / "objects").glob("*/.*.tmp"):
+            try:
+                parts = tmp.name.split(".")
+                pid = int(parts[-2]) if len(parts) >= 3 else None
+            except ValueError:
+                pid = None
+            stale = False
+            if pid is not None and pid != os.getpid():
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    stale = True
+                except OSError:
+                    pass  # e.g. EPERM: pid exists but is not ours
+            if not stale:
+                try:
+                    stale = now - tmp.stat().st_mtime > _TMP_MAX_AGE
+                except OSError:
+                    continue  # raced with the writer's own cleanup
+            if stale:
+                try:
+                    tmp.unlink(missing_ok=True)
+                except OSError:
+                    pass
 
     def __len__(self) -> int:
         return sum(1 for _ in (self.root / "objects").glob("*/*.spec"))

@@ -193,3 +193,57 @@ class TestTimeoutMachinery:
         t.start()
         t.join(30.0)
         assert results["exc"] == "inner failure"
+
+    def test_capability_probe_falls_back_to_watchdog(self, monkeypatch):
+        """When the signal layer refuses SIGALRM installation even on the
+        main thread (embedded/non-main interpreters), the probe detects
+        it before fn starts and routes to the watchdog -- fn must run
+        exactly once, on the watchdog thread."""
+        from repro.bench import runner
+
+        def refuse(signum, handler):
+            raise ValueError(
+                "signal only works in main thread of the main interpreter"
+            )
+
+        monkeypatch.setattr(runner.signal, "signal", refuse)
+        import threading
+
+        calls = []
+
+        def fn():
+            calls.append(threading.current_thread().name)
+            return 42
+
+        assert runner.run_with_timeout(fn, 5.0) == 42
+        assert calls == ["bench-watchdog-worker"]
+
+    def test_inference_under_budget_from_worker_thread(self):
+        """The serve-daemon regression: a full inference wrapped in
+        run_with_timeout must work from a worker-pool thread (where
+        SIGALRM is forbidden) and return the same verdict as on the main
+        thread."""
+        import threading
+
+        from repro.bench.runner import run_with_timeout
+        from repro.core import infer_source
+        from repro.core.pipeline import Verdict
+
+        source = """
+int down(int n) { if (n <= 0) { return 0; } else { return down(n - 1); } }
+"""
+        results = {}
+
+        def worker():
+            try:
+                result = run_with_timeout(
+                    lambda: infer_source(source, isolate_names=True), 60.0
+                )
+                results["verdict"] = result.verdict("down")
+            except BaseException as exc:  # pragma: no cover - debug aid
+                results["verdict"] = exc
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join(120.0)
+        assert results["verdict"] is Verdict.TERMINATING

@@ -1,0 +1,87 @@
+"""The ``python -m repro.serve`` entry point, end to end in a real
+subprocess: bind on an ephemeral port, answer requests, dedup a repeat
+submission, shut down cleanly on SIGTERM."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+import pytest
+
+MICRO = """
+int dec(int n) { if (n <= 0) { return 0; } else { return dec(n - 1); } }
+"""
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--workers", "1", "--store", str(tmp_path / "store")],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        banner = proc.stdout.readline().strip()
+        assert banner.startswith("listening on http://"), (
+            banner, proc.stderr.read() if proc.poll() is not None else ""
+        )
+        yield proc, banner.rsplit(":", 1)[1]
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait()
+
+
+def post_analyze(port, source, timeout=90):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/analyze",
+        data=json.dumps({"source": source}).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as response:
+        return (response.status, dict(response.headers), response.read())
+
+
+def test_daemon_serves_dedups_and_exits_on_sigterm(daemon):
+    proc, port = daemon
+
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/healthz", timeout=10
+    ) as response:
+        assert json.loads(response.read())["status"] == "ok"
+
+    status, headers, body = post_analyze(port, MICRO)
+    assert status == 200
+    assert headers["X-Repro-Dedup"] == "leader"
+    assert json.loads(body)["verdicts"] == {"dec": "Y"}
+
+    status, headers, repeat = post_analyze(port, MICRO)
+    assert status == 200
+    assert headers["X-Repro-Dedup"] == "hit"
+    assert repeat == body
+
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}/stats", timeout=10
+    ) as response:
+        stats = json.loads(response.read())
+    assert stats["dedup"]["leaders"] == 1
+    assert stats["dedup"]["hits"] == 1
+    assert stats["analyses"]["completed"] == 1
+    assert stats["store"]["entries"] == 1
+
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=30) == 0
+
+    # the socket really is closed
+    with pytest.raises((urllib.error.URLError, ConnectionError)):
+        urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/healthz", timeout=5
+        )

@@ -128,3 +128,100 @@ class TestMaintenance:
         assert as_store(None) is None
         assert as_store(store) is store
         assert as_store(str(tmp_path / "fresh")).root == tmp_path / "fresh"
+
+
+class TestTmpCleanup:
+    """Satellite bugfix: the atomic-write protocol must not litter
+    ``.{key}.{pid}.tmp`` files -- not on write failures, and crash
+    droppings from dead processes are swept at store open."""
+
+    KEY = "ef" * 32
+
+    def _tmp_files(self, store):
+        return list((store.root / "objects").glob("*/.*.tmp"))
+
+    def test_failed_replace_cleans_tmp(self, store, monkeypatch):
+        """Simulated crash between write_bytes and the rename: the tmp
+        file must not survive the raising save() call."""
+        def boom(src, dst):
+            raise OSError("simulated replace failure")
+
+        monkeypatch.setattr("repro.store.specstore.os.replace", boom)
+        with pytest.raises(OSError, match="simulated"):
+            store.save(self.KEY, _cold_specs())
+        assert self._tmp_files(store) == []
+        loaded, rejected = store.load(self.KEY)
+        assert loaded is None and not rejected  # nothing half-published
+
+    def test_failed_write_cleans_tmp(self, store, monkeypatch):
+        """Disk-full style failure inside write_bytes: same guarantee."""
+        from pathlib import Path
+
+        real_write = Path.write_bytes
+
+        def boom(self, data):
+            if self.name.endswith(".tmp"):
+                real_write(self, data[: len(data) // 2])  # partial write
+                raise OSError(28, "No space left on device")
+            return real_write(self, data)
+
+        monkeypatch.setattr(Path, "write_bytes", boom)
+        with pytest.raises(OSError, match="No space left"):
+            store.save(self.KEY, _cold_specs())
+        assert self._tmp_files(store) == []
+
+    def test_open_sweeps_dead_pid_orphans(self, store):
+        """A tmp file left by a hard-crashed (SIGKILL) writer is removed
+        when the store is next opened."""
+        import subprocess
+        import sys
+
+        # A real pid that is guaranteed dead: a subprocess we already
+        # reaped.  (Not a made-up number -- pid liveness is the check.)
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        orphan_dir = store.root / "objects" / self.KEY[:2]
+        orphan_dir.mkdir(parents=True, exist_ok=True)
+        orphan = orphan_dir / f".{self.KEY}.{proc.pid}.tmp"
+        orphan.write_bytes(b"half-written crash dropping")
+
+        reopened = SpecStore(store.root)
+        assert self._tmp_files(reopened) == []
+
+    def test_open_keeps_live_writers_fresh_tmp(self, store):
+        """A live process's recent tmp file is in-flight, not an orphan:
+        the sweep must leave it so the pending rename can succeed."""
+        import os as _os
+
+        tmp_dir = store.root / "objects" / self.KEY[:2]
+        tmp_dir.mkdir(parents=True, exist_ok=True)
+        inflight = tmp_dir / f".{self.KEY}.{_os.getpid()}.tmp"
+        inflight.write_bytes(b"in-flight write")
+
+        reopened = SpecStore(store.root)
+        assert self._tmp_files(reopened) == [inflight]
+
+    def test_open_sweeps_ancient_tmp_even_from_live_pid(self, store):
+        """Age backstop (pid reuse, NFS writers from other hosts): a tmp
+        file older than the threshold goes away even if its pid is
+        alive."""
+        import os as _os
+        import time as _time
+
+        from repro.store.specstore import _TMP_MAX_AGE
+
+        tmp_dir = store.root / "objects" / self.KEY[:2]
+        tmp_dir.mkdir(parents=True, exist_ok=True)
+        ancient = tmp_dir / f".{self.KEY}.{_os.getpid()}.tmp"
+        ancient.write_bytes(b"forgotten")
+        old = _time.time() - _TMP_MAX_AGE - 60
+        _os.utime(ancient, (old, old))
+
+        reopened = SpecStore(store.root)
+        assert self._tmp_files(reopened) == []
+
+    def test_successful_save_leaves_no_tmp(self, store):
+        store.save(self.KEY, _cold_specs())
+        assert self._tmp_files(store) == []
+        loaded, rejected = store.load(self.KEY)
+        assert loaded is not None and not rejected
