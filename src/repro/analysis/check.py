@@ -156,6 +156,7 @@ def checked_infer(
     backend: Optional[str] = None,
     validate: bool = True,
     program_name: Optional[str] = None,
+    language: str = "native",
 ):
     """Infer with pre-analysis, cross-checked against the plain pipeline.
 
@@ -173,7 +174,7 @@ def checked_infer(
     kwargs = dict(
         max_iter=max_iter, desugared=desugared, time_budget=time_budget,
         solver_ctx=solver_ctx, jobs=jobs, store=store, backend=backend,
-        validate=validate,
+        validate=validate, language=language,
     )
     found = _compare(program, kwargs)
     if found is not None and found[0]:

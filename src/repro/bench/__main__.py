@@ -1,4 +1,15 @@
-"""Command-line harness: ``python -m repro.bench {fig10,fig11}``.
+"""Command-line harness: ``python -m repro.bench {fig10,fig11,st,analyze}``.
+
+``st`` checks the labeled IEC 61131-3 Structured Text controller corpus
+(``examples/st_controllers/``, parsed through the ``st`` frontend) one
+row per program against ground truth, and exits nonzero on any verdict
+mismatch -- the CLI half of the frontend smoke job.
+
+``analyze FILE...`` runs the inference on arbitrary source files: the
+frontend is sniffed from each file's extension (``.st``/``.iecst`` ->
+``st``; ``.imp``/``.tnt``/``.c`` -> ``native``) or forced for all files
+with ``--language``.  Parse and validation failures print structured
+position-carrying diagnostics and exit 2.
 
 With ``--store DIR`` the HIPTNT+ runs read and populate a persistent
 spec store (see ``docs/store.md``) and each table grows a ``HIPTNT+
@@ -37,7 +48,17 @@ def main() -> None:
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation tables.",
     )
-    parser.add_argument("table", choices=["fig10", "fig11"])
+    parser.add_argument("table", choices=["fig10", "fig11", "st", "analyze"])
+    parser.add_argument(
+        "paths", nargs="*", metavar="FILE",
+        help="source files for the 'analyze' command (frontend sniffed "
+        "from the extension unless --language is given)",
+    )
+    parser.add_argument(
+        "--language", metavar="NAME", default=None,
+        help="source frontend for 'analyze' inputs (native, st); default "
+        "sniffs each file's extension",
+    )
     parser.add_argument(
         "--timeout", type=float, default=60.0,
         help="per-run wall-clock budget in seconds (paper used 300)",
@@ -77,7 +98,27 @@ def main() -> None:
         "self-check over the selected corpus (exit 1 on any verdict "
         "divergence)",
     )
-    args = parser.parse_args()
+    # parse_intermixed_args lets options appear before the FILE
+    # positionals ("analyze --language st prog"), which plain
+    # parse_args mis-handles for nargs="*".
+    args = parser.parse_intermixed_args()
+    if args.table == "analyze":
+        if not args.paths:
+            parser.error("'analyze' needs at least one FILE")
+        if args.store or args.backend or args.cold or args.check_preanalysis:
+            parser.error(
+                "'analyze' takes no --store/--cold/--backend/"
+                "--check-preanalysis"
+            )
+        sys.exit(_analyze_files(args))
+    if args.paths:
+        parser.error(f"'{args.table}' takes no FILE arguments")
+    if args.language is not None:
+        parser.error("--language only applies to the 'analyze' command")
+    if args.table == "st" and (
+        args.backend or args.cold or args.check_preanalysis
+    ):
+        parser.error("'st' takes no --cold/--backend/--check-preanalysis")
     if args.cold and not args.store:
         parser.error("--cold requires --store DIR")
     if args.check_preanalysis and (args.store or args.backend or args.cold):
@@ -95,6 +136,13 @@ def main() -> None:
         SpecStore(args.store).wipe()
     if args.check_preanalysis:
         sys.exit(_check_preanalysis(args))
+    if args.table == "st":
+        from repro.bench.reporting import st_table
+
+        table = st_table(timeout=args.timeout, jobs=args.jobs,
+                         store=args.store)
+        print(table)
+        sys.exit(0 if "all verdicts match" in table else 1)
     if args.table == "fig10":
         print(fig10_table(timeout=args.timeout, jobs=args.jobs,
                           store=args.store, backend=args.backend,
@@ -103,6 +151,50 @@ def main() -> None:
         print(fig11_table(timeout=args.timeout, jobs=args.jobs,
                           store=args.store, backend=args.backend,
                           preanalysis=args.preanalysis))
+
+
+def _analyze_files(args) -> int:
+    """``analyze FILE...``: infer each file through its frontend.
+
+    Prints one block per file with the per-method verdicts (desugared
+    loop methods are folded into their parents and skipped).  Exit code
+    0 on success for every file, 2 when any file fails to read, parse
+    or validate -- with rendered position-carrying diagnostics.
+    """
+    import pathlib
+
+    from repro.analysis.diagnostics import ProgramInvalid
+    from repro.core.pipeline import infer_source
+    from repro.lang.errors import SourceError
+    from repro.lang.frontends import UnknownLanguageError, language_for_path
+
+    status = 0
+    for path in args.paths:
+        try:
+            language = args.language or language_for_path(path)
+            source = pathlib.Path(path).read_text()
+        except (UnknownLanguageError, OSError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            status = 2
+            continue
+        try:
+            result = infer_source(
+                source, language=language, filename=path,
+                time_budget=min(args.timeout, 15.0), jobs=args.jobs,
+            )
+        except (SourceError, ProgramInvalid) as exc:
+            print(f"{path}: [{language}]", file=sys.stderr)
+            for d in getattr(exc, "diagnostics", []):
+                rendered = d.render() if hasattr(d, "render") else str(d)
+                print(f"  {rendered}", file=sys.stderr)
+            status = 2
+            continue
+        print(f"{path}: [{language}]")
+        for name in result.specs:
+            if result.program.methods[name].source_loop:
+                continue
+            print(f"  {name}: {result.verdict(name)}")
+    return status
 
 
 def _check_preanalysis(args) -> int:

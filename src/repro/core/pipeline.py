@@ -275,6 +275,7 @@ def infer_program(
     check_preanalysis: bool = False,
     validate: bool = True,
     isolate_names: bool = False,
+    language: str = "native",
 ) -> InferenceResult:
     """Infer termination/non-termination summaries for every method.
 
@@ -345,6 +346,13 @@ def infer_program(
         raise :class:`repro.analysis.diagnostics.ProgramInvalid` with
         position-carrying diagnostics instead of surfacing as internal
         errors mid-pipeline.  Skipped for ``desugared=True`` input.
+    language:
+        Name of the source frontend the program came from (see
+        :mod:`repro.lang.frontends`).  Only store keys depend on it:
+        non-native frontends are salted into the SCC fingerprints so
+        summaries of lowered programs never alias native ones.  The
+        default keeps native keys byte-identical to the pre-frontend
+        scheme.
     isolate_names:
         Run the whole inference inside :func:`fresh_name_scope`: private
         zero-based fresh-name counters, local to the calling thread/task.
@@ -376,6 +384,7 @@ def infer_program(
                 time_budget=time_budget, solver_ctx=solver_ctx, jobs=jobs,
                 store=store, backend=backend, preanalysis=preanalysis,
                 check_preanalysis=check_preanalysis, validate=validate,
+                language=language,
             )
 
     if check_preanalysis:
@@ -385,6 +394,7 @@ def infer_program(
             program, max_iter=max_iter, desugared=desugared,
             time_budget=time_budget, solver_ctx=solver_ctx, jobs=jobs,
             store=store, backend=backend, validate=validate,
+            language=language,
         )
 
     jobs = resolve_jobs(jobs)
@@ -394,7 +404,7 @@ def infer_program(
         return infer_program_parallel(
             program, jobs=jobs, max_iter=max_iter, desugared=desugared,
             time_budget=time_budget, store=store, backend=backend,
-            preanalysis=preanalysis, validate=validate,
+            preanalysis=preanalysis, validate=validate, language=language,
         )
 
     from repro.seplog.abstraction import abstract_program  # local: optional dep
@@ -425,7 +435,7 @@ def infer_program(
         from repro.store.fingerprint import program_store_keys
 
         sccs, _deps, keys = program_store_keys(
-            program, max_iter, time_budget
+            program, max_iter, time_budget, language
         )
     else:
         sccs = method_sccs(program)
@@ -464,18 +474,32 @@ def infer_source(
     jobs: int = 1, store: StoreArg = None, backend: Optional[str] = None,
     preanalysis: bool = False, check_preanalysis: bool = False,
     validate: bool = True, isolate_names: bool = False,
+    language: Optional[str] = None, filename: Optional[str] = None,
 ) -> InferenceResult:
     """Parse, desugar and infer a program given as concrete syntax.
 
+    ``language`` selects the source frontend by name (see
+    :mod:`repro.lang.frontends`; ``None`` sniffs *filename*'s extension
+    when given and otherwise means the ``native`` C-like syntax).
     ``jobs``, ``store``, ``backend``, ``preanalysis``,
     ``check_preanalysis``, ``validate`` and ``isolate_names`` are
     forwarded to :func:`infer_program` unchanged (parallel SCC analysis;
     persistent summary cache; decision-procedure backend; dataflow
     pre-analysis and its differential self-check; lint layer; reentrant
     thread-dispatchable name scoping)."""
+    from repro.lang.frontends import (
+        DEFAULT_LANGUAGE,
+        get_frontend,
+        language_for_path,
+    )
+
+    if language is None and filename is not None:
+        language = language_for_path(filename, default=DEFAULT_LANGUAGE)
+    frontend = get_frontend(language)
     return infer_program(
-        parse_program(source), max_iter=max_iter, time_budget=time_budget,
+        frontend.parse(source, filename=filename),
+        max_iter=max_iter, time_budget=time_budget,
         jobs=jobs, store=store, backend=backend, preanalysis=preanalysis,
         check_preanalysis=check_preanalysis, validate=validate,
-        isolate_names=isolate_names,
+        isolate_names=isolate_names, language=frontend.name,
     )

@@ -156,6 +156,7 @@ def infer_program_parallel(
     backend: Optional[str] = None,
     preanalysis: bool = False,
     validate: bool = True,
+    language: str = "native",
 ) -> "InferenceResult":
     """Parallel counterpart of :func:`repro.core.pipeline.infer_program`.
 
@@ -236,7 +237,7 @@ def infer_program_parallel(
         from repro.store.fingerprint import scc_store_keys
 
         keys: List[Optional[str]] = scc_store_keys(
-            program, sccs, deps, max_iter, time_budget
+            program, sccs, deps, max_iter, time_budget, language
         )
     else:
         keys = [None] * len(sccs)

@@ -11,8 +11,14 @@ Modules:
 
 * :mod:`repro.lang.ast` -- abstract syntax (expressions, statements,
   methods, data declarations, programs).
-* :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` -- a hand-written
-  recursive-descent frontend for a small C-like concrete syntax.
+* :mod:`repro.lang.frontends` -- pluggable source-language frontends
+  lowering concrete syntaxes to the core AST: ``native`` (the C-like
+  syntax below) and ``st`` (IEC 61131-3 Structured Text subset).
+* :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` -- the hand-written
+  recursive-descent ``native`` frontend for a small C-like concrete
+  syntax (kept importable from here for compatibility).
+* :mod:`repro.lang.errors` -- ``SourceError`` base for ``LexError`` /
+  ``ParseError``, carrying positions and ``Diagnostic`` bridges.
 * :mod:`repro.lang.desugar` -- while->tail-recursion rewriting and
   expression-call flattening.
 * :mod:`repro.lang.callgraph` -- call graph and SCC condensation.
@@ -31,9 +37,17 @@ from repro.lang.ast import (
     VoidType,
     NamedType,
 )
+from repro.lang.errors import SourceError
 from repro.lang.parser import parse_program, ParseError
+from repro.lang.lexer import LexError
 from repro.lang.desugar import desugar_program
 from repro.lang.callgraph import call_graph, method_sccs
+from repro.lang.frontends import (
+    available_languages,
+    get_frontend,
+    language_for_path,
+    parse_source,
+)
 
 __all__ = [
     "Program",
@@ -45,7 +59,13 @@ __all__ = [
     "VoidType",
     "NamedType",
     "parse_program",
+    "parse_source",
     "ParseError",
+    "LexError",
+    "SourceError",
+    "available_languages",
+    "get_frontend",
+    "language_for_path",
     "desugar_program",
     "call_graph",
     "method_sccs",

@@ -1,0 +1,62 @@
+"""Structured source-level errors shared by every frontend.
+
+Historically the lexer and parser raised bare ``Exception`` subclasses
+whose positions (when present at all) lived only in the message text.
+:class:`SourceError` gives every frontend failure a machine-readable
+``pos`` and a bridge into :mod:`repro.analysis.diagnostics`, while the
+rendered message keeps the familiar ``... at line L, col C`` suffix so
+existing callers and tests see the same strings.
+
+The import of :mod:`repro.analysis.diagnostics` is deferred to the
+``diagnostic`` property: ``repro.analysis`` imports the core pipeline,
+which imports ``repro.lang``, so a module-level import here would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+Pos = Optional[Tuple[int, int]]
+
+
+class SourceError(Exception):
+    """A lexing or parsing failure with an optional source position.
+
+    ``bare_message`` is the description without the location suffix;
+    ``str(exc)`` appends `` at line L, col C`` when a position is known.
+    ``diagnostic`` / ``diagnostics`` expose the failure in the shape the
+    analysis and service layers expect.
+    """
+
+    code = "parse-error"
+
+    def __init__(
+        self,
+        message: str,
+        pos: Pos = None,
+        *,
+        filename: Optional[str] = None,
+    ) -> None:
+        self.bare_message = message
+        self.pos = pos
+        self.filename = filename
+        rendered = message
+        if pos is not None:
+            rendered = f"{message} at line {pos[0]}, col {pos[1]}"
+        super().__init__(rendered)
+
+    @property
+    def diagnostic(self):
+        from repro.analysis.diagnostics import Diagnostic, Severity
+
+        return Diagnostic(
+            severity=Severity.ERROR,
+            code=self.code,
+            message=self.bare_message,
+            method=None,
+            pos=self.pos,
+        )
+
+    @property
+    def diagnostics(self) -> List:
+        return [self.diagnostic]

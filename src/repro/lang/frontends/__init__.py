@@ -1,0 +1,108 @@
+"""Pluggable source-language frontends.
+
+The inference engine is language-agnostic once a program is in the core
+AST; this package is the seam where concrete syntaxes plug in.  Two
+frontends ship today: ``native`` (the repo's original C-like syntax,
+bit-for-bit compatible -- same verdicts, same store fingerprints) and
+``st`` (an IEC 61131-3 Structured Text subset).  See
+``docs/frontends.md`` for the protocol contract and how to add one.
+
+Entry points resolve a language with :func:`get_frontend` (``None``
+means :data:`DEFAULT_LANGUAGE`), sniff file extensions with
+:func:`language_for_path`, and parse with :func:`parse_source`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from repro.lang.ast import Program
+from repro.lang.errors import SourceError  # noqa: F401  (re-export)
+from repro.lang.frontends.base import Frontend
+from repro.lang.frontends.native import NativeFrontend
+from repro.lang.frontends.st import STFrontend
+
+DEFAULT_LANGUAGE = "native"
+
+_REGISTRY: Dict[str, Frontend] = {}
+_BY_EXTENSION: Dict[str, str] = {}
+
+
+class UnknownLanguageError(ValueError):
+    """An unregistered language name or unsniffable file extension."""
+
+
+def register_frontend(frontend: Frontend, *, replace: bool = False) -> None:
+    """Add *frontend* to the registry (used by the two built-ins and by
+    tests/extensions registering their own languages)."""
+    name = frontend.name
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"frontend {name!r} is already registered")
+    _REGISTRY[name] = frontend
+    for ext in frontend.extensions:
+        _BY_EXTENSION[ext.lower()] = name
+
+
+def available_languages() -> Tuple[str, ...]:
+    """Registered language names, default first, rest sorted."""
+    rest = sorted(n for n in _REGISTRY if n != DEFAULT_LANGUAGE)
+    return (DEFAULT_LANGUAGE, *rest)
+
+
+def get_frontend(language: Optional[str] = None) -> Frontend:
+    """Resolve *language* (``None`` -> the native default)."""
+    name = DEFAULT_LANGUAGE if language is None else language
+    frontend = _REGISTRY.get(name)
+    if frontend is None:
+        known = ", ".join(available_languages())
+        raise UnknownLanguageError(
+            f"unknown language {name!r} (known: {known})"
+        )
+    return frontend
+
+
+def language_for_path(path: str, default: Optional[str] = None) -> str:
+    """Sniff the frontend for *path* from its extension."""
+    ext = os.path.splitext(path)[1].lower()
+    name = _BY_EXTENSION.get(ext)
+    if name is None:
+        if default is not None:
+            return default
+        known = ", ".join(sorted(_BY_EXTENSION))
+        raise UnknownLanguageError(
+            f"cannot infer a language from {path!r} "
+            f"(known extensions: {known}); pass an explicit language"
+        )
+    return name
+
+
+def parse_source(
+    source: str,
+    language: Optional[str] = None,
+    *,
+    filename: Optional[str] = None,
+) -> Program:
+    """Parse *source*; with no explicit *language*, sniff *filename*'s
+    extension when given (falling back to the native default)."""
+    if language is None and filename is not None:
+        language = language_for_path(filename, default=DEFAULT_LANGUAGE)
+    return get_frontend(language).parse(source, filename=filename)
+
+
+register_frontend(NativeFrontend())
+register_frontend(STFrontend())
+
+__all__ = [
+    "DEFAULT_LANGUAGE",
+    "Frontend",
+    "NativeFrontend",
+    "STFrontend",
+    "SourceError",
+    "UnknownLanguageError",
+    "available_languages",
+    "get_frontend",
+    "language_for_path",
+    "parse_source",
+    "register_frontend",
+]

@@ -1,0 +1,39 @@
+"""The ``Frontend`` protocol every source-language frontend implements.
+
+A frontend turns concrete syntax in some language into the core
+imperative AST (:class:`repro.lang.ast.Program`); everything downstream
+-- desugar, validate, pre-analysis, inference, the spec store -- is
+language-agnostic and runs unchanged.  Frontends report failures by
+raising :class:`repro.lang.errors.SourceError` subclasses, which carry a
+source position and render as :class:`repro.analysis.diagnostics.Diagnostic`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Tuple, runtime_checkable
+
+from repro.lang.ast import Program
+
+
+@runtime_checkable
+class Frontend(Protocol):
+    """One source language.
+
+    ``name`` is the registry key (and the language tag salted into store
+    fingerprints for non-native frontends); ``extensions`` drive
+    extension sniffing for file inputs (lowercase, with the leading
+    dot); ``description`` is a one-line summary for ``/schema`` and CLI
+    help.
+    """
+
+    name: str
+    extensions: Tuple[str, ...]
+    description: str
+
+    def parse(self, source: str, *, filename: Optional[str] = None) -> Program:
+        """Parse *source* into a core AST.
+
+        Raises a :class:`~repro.lang.errors.SourceError` (``LexError`` /
+        ``ParseError``) with a line/col position on malformed input.
+        """
+        ...

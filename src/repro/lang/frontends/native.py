@@ -1,0 +1,23 @@
+"""The repo's original C-like concrete syntax as a registry frontend.
+
+This is a thin adapter over :func:`repro.lang.parser.parse_program`; the
+grammar, tokens, and AST shapes are unchanged, so programs parsed through
+this frontend are bit-for-bit identical (verdicts *and* store
+fingerprints) to programs parsed before the registry existed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+
+
+class NativeFrontend:
+    name = "native"
+    extensions = (".imp", ".tnt", ".c")
+    description = "the repo's C-like core-language syntax (lang/parser.py)"
+
+    def parse(self, source: str, *, filename: Optional[str] = None) -> Program:
+        return parse_program(source)

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
+from repro.lang.errors import SourceError
+
 KEYWORDS = {
     "data",
     "int",
@@ -61,8 +63,14 @@ class Token:
         return f"{self.text!r}@{self.line}:{self.col}"
 
 
-class LexError(Exception):
-    """Raised on unexpected input characters."""
+class LexError(SourceError):
+    """Raised on unexpected input characters.
+
+    Carries a machine-readable position and a ``Diagnostic`` bridge via
+    the :class:`~repro.lang.errors.SourceError` base.
+    """
+
+    code = "lex-error"
 
 
 def tokenize(source: str) -> List[Token]:
@@ -91,7 +99,7 @@ def tokenize(source: str) -> List[Token]:
         if source.startswith("/*", i):
             end = source.find("*/", i + 2)
             if end < 0:
-                raise LexError(f"unterminated comment at line {line}")
+                raise LexError("unterminated comment", pos=(line, col))
             for c in source[i:end + 2]:
                 if c == "\n":
                     line += 1
@@ -124,6 +132,6 @@ def tokenize(source: str) -> List[Token]:
                 col += len(sym)
                 break
         else:
-            raise LexError(f"unexpected character {ch!r} at line {line}, col {col}")
+            raise LexError(f"unexpected character {ch!r}", pos=(line, col))
     tokens.append(Token("eof", "", line, col))
     return tokens

@@ -53,11 +53,18 @@ from repro.lang.ast import (
     While,
     seq,
 )
+from repro.lang.errors import SourceError
 from repro.lang.lexer import Token, tokenize
 
 
-class ParseError(Exception):
-    """Raised when the token stream does not match the grammar."""
+class ParseError(SourceError):
+    """Raised when the token stream does not match the grammar.
+
+    Carries a machine-readable position and a ``Diagnostic`` bridge via
+    the :class:`~repro.lang.errors.SourceError` base.  The EOF token
+    keeps the last line/col, so even unexpected-end-of-input failures
+    report a real position.
+    """
 
 
 class _Parser:
@@ -88,18 +95,20 @@ class _Parser:
     def expect(self, text: str) -> Token:
         tok = self.peek()
         if not self.check(text):
+            found = tok.text if tok.kind != "eof" else "end of input"
             raise ParseError(
-                f"expected {text!r} but found {tok.text!r} "
-                f"at line {tok.line}, col {tok.col}"
+                f"expected {text!r} but found {found!r}",
+                pos=(tok.line, tok.col),
             )
         return self.advance()
 
     def expect_ident(self) -> str:
         tok = self.peek()
         if tok.kind != "ident":
+            found = tok.text if tok.kind != "eof" else "end of input"
             raise ParseError(
-                f"expected identifier but found {tok.text!r} "
-                f"at line {tok.line}, col {tok.col}"
+                f"expected identifier but found {found!r}",
+                pos=(tok.line, tok.col),
             )
         self.advance()
         return tok.text
@@ -123,7 +132,9 @@ class _Parser:
             return ast.VOID
         if tok.kind == "ident":
             return ast.NamedType(tok.text)
-        raise ParseError(f"expected a type, found {tok.text!r} at line {tok.line}")
+        raise ParseError(
+            f"expected a type, found {tok.text!r}", pos=(tok.line, tok.col)
+        )
 
     # -- program ---------------------------------------------------------------
 
@@ -136,16 +147,16 @@ class _Parser:
                 d = self.parse_data_decl()
                 if d.name in data_decls:
                     raise ParseError(
-                        f"duplicate data declaration {d.name!r} "
-                        f"at line {start.line}, col {start.col}"
+                        f"duplicate data declaration {d.name!r}",
+                        pos=(start.line, start.col),
                     )
                 data_decls[d.name] = d
             else:
                 m = self.parse_method()
                 if m.name in methods:
                     raise ParseError(
-                        f"duplicate method {m.name!r} "
-                        f"at line {start.line}, col {start.col}"
+                        f"duplicate method {m.name!r}",
+                        pos=(start.line, start.col),
                     )
                 methods[m.name] = m
         return Program(data_decls=data_decls, methods=methods)
@@ -289,8 +300,8 @@ class _Parser:
             return CallStmt(name, tuple(args), pos=pos)
         tok = self.peek()
         raise ParseError(
-            f"unexpected token {tok.text!r} after {name!r} "
-            f"at line {tok.line}, col {tok.col}"
+            f"unexpected token {tok.text!r} after {name!r}",
+            pos=(tok.line, tok.col),
         )
 
     def parse_args(self) -> List[Expr]:
@@ -391,8 +402,9 @@ class _Parser:
             while self.accept("."):
                 expr = FieldRead(expr, self.expect_ident(), pos=(tok.line, tok.col))
             return expr
+        found = tok.text if tok.kind != "eof" else "end of input"
         raise ParseError(
-            f"unexpected token {tok.text!r} at line {tok.line}, col {tok.col}"
+            f"unexpected token {found!r}", pos=(tok.line, tok.col)
         )
 
 
@@ -407,5 +419,7 @@ def parse_expr(source: str) -> Expr:
     expr = parser.parse_expr()
     if parser.peek().kind != "eof":
         tok = parser.peek()
-        raise ParseError(f"trailing input {tok.text!r} at line {tok.line}")
+        raise ParseError(
+            f"trailing input {tok.text!r}", pos=(tok.line, tok.col)
+        )
     return expr

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.lang.frontends import available_languages
+
 #: Hard ceilings on the analysis knobs a request may ask for.  They bound
 #: what one request can cost; the daemon-level wall-clock cap
 #: (:attr:`repro.serve.server.ServiceConfig.max_analysis_seconds`) backs
@@ -41,7 +43,14 @@ ANALYZE_REQUEST_SCHEMA: Dict[str, object] = {
         "source": {
             "type": "string",
             "minLength": 1,
-            "description": "program in the repro concrete syntax",
+            "description": "program text in the selected source language",
+        },
+        "language": {
+            "type": ["string", "null"],
+            "enum": [None, *available_languages()],
+            "default": None,
+            "description": "source frontend (see docs/frontends.md); "
+            "null = native C-like syntax",
         },
         "max_iter": {
             "type": "integer",
@@ -79,8 +88,13 @@ ANALYZE_REQUEST_SCHEMA: Dict[str, object] = {
 }
 
 #: Knob names (request keys beyond ``source``) in canonical order; they
-#: feed the request fingerprint, so the order must be stable.
-KNOB_FIELDS = ("max_iter", "time_budget", "backend", "preanalysis", "validate")
+#: feed the request fingerprint, so the order must be stable.  The
+#: resolved frontend name is part of the knobs: identical bytes submitted
+#: in different languages must never share a dedup entry.
+KNOB_FIELDS = (
+    "language", "max_iter", "time_budget", "backend", "preanalysis",
+    "validate",
+)
 
 
 def validate_analyze_request(
@@ -126,6 +140,14 @@ def validate_analyze_request(
     if backend is not None and not isinstance(backend, str):
         errors.append("'backend' must be a string or null")
 
+    language = obj.get("language")
+    if language is not None and not isinstance(language, str):
+        errors.append("'language' must be a string or null")
+        language = None
+    elif language is not None and language not in available_languages():
+        known = ", ".join(available_languages())
+        errors.append(f"unknown language {language!r} (known: {known})")
+
     flags = {}
     for name, default in (("preanalysis", False), ("validate", True)):
         value = obj.get(name, default)
@@ -138,6 +160,9 @@ def validate_analyze_request(
         return None, errors
     return {
         "source": source,
+        # normalised to the frontend's canonical name so "language":
+        # null and an explicit "native" deduplicate together
+        "language": "native" if language is None else language,
         "max_iter": max_iter,
         "time_budget": float(time_budget),
         "backend": backend,

@@ -326,12 +326,18 @@ class AnalysisService:
                     "backend-unavailable", str(exc)
                 )), {}
 
-        from repro.lang.parser import ParseError, parse_program
+        from repro.lang.errors import SourceError
+        from repro.lang.frontends import get_frontend
 
+        # validated against available_languages() above, so this resolves
+        frontend = get_frontend(params["language"])
         try:
-            program = parse_program(params["source"])
-        except ParseError as exc:
-            return 422, _encode(error_response("parse-error", str(exc))), {}
+            program = frontend.parse(params["source"])
+        except SourceError as exc:
+            return 400, _encode(error_response(
+                "parse-error", str(exc),
+                diagnostics=[d.render() for d in exc.diagnostics],
+            )), {}
 
         knobs = {k: params[k] for k in KNOB_FIELDS}
         knobs["backend"] = backend
@@ -411,6 +417,7 @@ class AnalysisService:
                     preanalysis=params["preanalysis"],
                     validate=params["validate"],
                     isolate_names=True,
+                    language=params["language"],
                 ),
                 self.config.max_analysis_seconds,
             )

@@ -159,6 +159,7 @@ def scc_store_keys(
     deps: Sequence[Set[int]],
     max_iter: int,
     time_budget: float,
+    language: str = "native",
 ) -> List[str]:
     """One store key per SCC of the condensation, aligned with *sccs*.
 
@@ -170,12 +171,20 @@ def scc_store_keys(
     analysis knobs -- changing ``max_iter`` or ``time_budget`` therefore
     changes every key, and editing a method changes exactly the keys of
     its own SCC and the SCCs that transitively call it.
+
+    *language* is the frontend the program came from.  Non-native
+    frontends are salted into the header so identical lowered ASTs
+    arriving through different languages never share store entries (a
+    frontend's lowering scheme can evolve independently); ``native``
+    emits the exact historical header bytes, keeping every pre-frontend
+    store entry and fingerprint regression intact.
     """
+    lang_part = "" if language == "native" else f"lang={language}:"
     keys: List[str] = []
     for i, scc in enumerate(sccs):
         h = hashlib.sha256()
         h.update(
-            f"tnt-scc:v{FINGERPRINT_VERSION}:"
+            f"tnt-scc:v{FINGERPRINT_VERSION}:{lang_part}"
             f"max_iter={max_iter}:time_budget={time_budget!r}\n".encode()
         )
         for name in scc:  # scc is sorted by name already
@@ -191,11 +200,14 @@ def scc_store_keys(
 
 
 def program_store_keys(
-    program: Program, max_iter: int, time_budget: float
+    program: Program,
+    max_iter: int,
+    time_budget: float,
+    language: str = "native",
 ) -> Tuple[List[List[str]], List[Set[int]], List[str]]:
     """``(sccs, deps, keys)`` for a desugared (and, if applicable,
     heap-abstracted) program -- the condensation in callee-first order
     plus one store key per SCC."""
     sccs, deps = scc_dependencies(program)
-    keys = scc_store_keys(program, sccs, deps, max_iter, time_budget)
+    keys = scc_store_keys(program, sccs, deps, max_iter, time_budget, language)
     return sccs, deps, keys

@@ -1,0 +1,532 @@
+"""Frontend registry and the IEC 61131-3 Structured Text frontend.
+
+Three layers of evidence that ST lowering is faithful:
+
+* golden lowering -- ST sources pretty-print to exactly the native
+  program we expect (positions are ``compare=False``, so structural
+  equality through ``parse_program(pretty_program(p))`` is exact);
+* the concrete interpreter as oracle -- lowered programs *run* with
+  the semantics the ST source describes (FOR bounds fixed at entry,
+  REPEAT bodies executing before the test, named-argument calls);
+* a hypothesis round-trip over the ST-representable fragment.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp
+
+from repro.lang import ast
+from repro.lang.errors import SourceError
+from repro.lang.frontends import (
+    DEFAULT_LANGUAGE,
+    Frontend,
+    UnknownLanguageError,
+    available_languages,
+    get_frontend,
+    language_for_path,
+    parse_source,
+    register_frontend,
+)
+from repro.lang.interp import terminates
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.analysis.validate import validate_program
+
+
+def lower(st_source: str) -> ast.Program:
+    return parse_source(st_source, language="st")
+
+
+class TestRegistry:
+    def test_builtins_registered_default_first(self):
+        assert available_languages() == ("native", "st")
+        assert DEFAULT_LANGUAGE == "native"
+
+    def test_get_frontend_resolves_none_to_native(self):
+        assert get_frontend(None).name == "native"
+        assert get_frontend("st").name == "st"
+
+    def test_frontends_satisfy_the_protocol(self):
+        for name in available_languages():
+            assert isinstance(get_frontend(name), Frontend)
+
+    def test_unknown_language_names_the_known_ones(self):
+        with pytest.raises(UnknownLanguageError, match="native.*st"):
+            get_frontend("cobol")
+
+    def test_extension_sniffing(self):
+        assert language_for_path("plant/ramp.st") == "st"
+        assert language_for_path("PLANT/RAMP.ST") == "st"
+        assert language_for_path("controller.iecst") == "st"
+        assert language_for_path("prog.imp") == "native"
+        assert language_for_path("prog.tnt") == "native"
+        assert language_for_path("prog.c") == "native"
+
+    def test_sniffing_unknown_extension(self):
+        assert language_for_path("prog.xyz", default="native") == "native"
+        with pytest.raises(UnknownLanguageError):
+            language_for_path("prog.xyz")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_frontend(get_frontend("st"))
+
+    def test_parse_source_defaults_to_native(self):
+        p = parse_source("int id(int n) { return n; }")
+        assert set(p.methods) == {"id"}
+
+
+# ---------------------------------------------------------------------------
+# Golden lowering: ST in, exact native program out.
+
+RETRY_ST = """
+FUNCTION Retry : INT
+  VAR_INPUT
+    max_tries : INT;
+  END_VAR
+  VAR
+    tries : INT;
+  END_VAR
+  tries := 0;
+  WHILE tries < max_tries DO
+    tries := tries + 1;
+  END_WHILE
+  Retry := tries;
+END_FUNCTION
+"""
+
+RETRY_NATIVE = """
+int Retry(int max_tries) {
+  int Retry = 0;
+  int tries = 0;
+  tries = 0;
+  while (tries < max_tries) { tries = tries + 1; }
+  Retry = tries;
+  return Retry;
+}
+"""
+
+
+class TestGoldenLowering:
+    def assert_lowers_to(self, st_source, native_source):
+        lowered = lower(st_source)
+        expected = parse_program(native_source)
+        assert lowered == expected, pretty_program(lowered)
+        # and the lowered form survives the native pretty/parse cycle
+        assert parse_program(pretty_program(lowered)) == lowered
+
+    def test_function_with_while(self):
+        self.assert_lowers_to(RETRY_ST, RETRY_NATIVE)
+
+    def test_function_block_havocs_its_state(self):
+        self.assert_lowers_to(
+            """
+            FUNCTION_BLOCK Pump
+              VAR_INPUT level : INT; END_VAR
+              VAR on : BOOL; END_VAR
+              IF level > 10 THEN
+                on := TRUE;
+              END_IF
+            END_FUNCTION_BLOCK
+            """,
+            """
+            void Pump(int level) {
+              bool on;
+              havoc on;
+              if (level > 10) { on = true; }
+            }
+            """,
+        )
+
+    def test_elsif_chain_folds_right(self):
+        self.assert_lowers_to(
+            """
+            FUNCTION Sign : INT
+              VAR_INPUT x : INT; END_VAR
+              IF x > 0 THEN
+                Sign := 1;
+              ELSIF x < 0 THEN
+                Sign := 0 - 1;
+              ELSE
+                Sign := 0;
+              END_IF
+            END_FUNCTION
+            """,
+            """
+            int Sign(int x) {
+              int Sign = 0;
+              if (x > 0) { Sign = 1; }
+              else { if (x < 0) { Sign = 0 - 1; } else { Sign = 0; } }
+              return Sign;
+            }
+            """,
+        )
+
+    def test_for_materializes_its_bound(self):
+        self.assert_lowers_to(
+            """
+            FUNCTION Sum : INT
+              VAR_INPUT n : INT; END_VAR
+              VAR i : INT; END_VAR
+              FOR i := 1 TO n DO
+                Sum := Sum + i;
+              END_FOR
+            END_FUNCTION
+            """,
+            """
+            int Sum(int n) {
+              int Sum = 0;
+              int i = 0;
+              i = 1;
+              int __st_for0 = n;
+              while (i <= __st_for0) { Sum = Sum + i; i = i + 1; }
+              return Sum;
+            }
+            """,
+        )
+
+    def test_for_with_negative_step_counts_down(self):
+        self.assert_lowers_to(
+            """
+            FUNCTION Down : INT
+              VAR_INPUT n : INT; END_VAR
+              VAR i : INT; END_VAR
+              FOR i := n TO 0 BY -2 DO
+                Down := Down + 1;
+              END_FOR
+            END_FUNCTION
+            """,
+            """
+            int Down(int n) {
+              int Down = 0;
+              int i = 0;
+              i = n;
+              int __st_for0 = 0;
+              while (i >= __st_for0) { Down = Down + 1; i = i - 2; }
+              return Down;
+            }
+            """,
+        )
+
+    def test_repeat_runs_body_then_tests(self):
+        self.assert_lowers_to(
+            """
+            FUNCTION_BLOCK Tick
+              VAR_INPUT limit : INT; END_VAR
+              VAR t : INT; END_VAR
+              REPEAT
+                t := t + 1;
+              UNTIL t >= limit
+              END_REPEAT
+            END_FUNCTION_BLOCK
+            """,
+            """
+            void Tick(int limit) {
+              int t;
+              havoc t;
+              t = t + 1;
+              while (!(t >= limit)) { t = t + 1; }
+            }
+            """,
+        )
+
+    def test_operators_and_boolean_lowering(self):
+        self.assert_lowers_to(
+            """
+            FUNCTION Cmp : BOOL
+              VAR_INPUT a : INT; b : INT; END_VAR
+              Cmp := a = b OR (a <> 0 AND NOT (a < b));
+            END_FUNCTION
+            """,
+            """
+            bool Cmp(int a, int b) {
+              bool Cmp = false;
+              Cmp = a == b || (a != 0 && !(a < b));
+              return Cmp;
+            }
+            """,
+        )
+
+    def test_explicit_return_suppresses_the_implicit_one(self):
+        self.assert_lowers_to(
+            """
+            FUNCTION Pick : INT
+              VAR_INPUT x : INT; END_VAR
+              Pick := x;
+              RETURN;
+            END_FUNCTION
+            """,
+            """
+            int Pick(int x) {
+              int Pick = 0;
+              Pick = x;
+              return Pick;
+            }
+            """,
+        )
+
+    def test_named_arguments_resolve_against_the_signature(self):
+        # callee defined *after* the caller: resolution uses the
+        # signature pre-pass, not definition order
+        self.assert_lowers_to(
+            """
+            FUNCTION Wrap : INT
+              VAR_INPUT x : INT; END_VAR
+              Wrap := Clamp(hi := 10, v := x);
+            END_FUNCTION
+            FUNCTION Clamp : INT
+              VAR_INPUT v : INT; hi : INT; END_VAR
+              IF v > hi THEN Clamp := hi; ELSE Clamp := v; END_IF
+            END_FUNCTION
+            """,
+            """
+            int Wrap(int x) {
+              int Wrap = 0;
+              Wrap = Clamp(x, 10);
+              return Wrap;
+            }
+            int Clamp(int v, int hi) {
+              int Clamp = 0;
+              if (v > hi) { Clamp = hi; } else { Clamp = v; }
+              return Clamp;
+            }
+            """,
+        )
+
+    def test_keywords_are_case_insensitive(self):
+        a = lower("function F : INT\n  F := 1;\nend_function")
+        b = lower("FUNCTION F : INT\n  F := 1;\nEND_FUNCTION")
+        assert a == b
+
+    def test_lowered_programs_validate(self):
+        for src in (RETRY_ST,):
+            diags = validate_program(lower(src))
+            assert not diags, [d.render() for d in diags]
+
+
+# ---------------------------------------------------------------------------
+# Interpreter oracle: the lowered program *behaves* like the ST source.
+
+class TestInterpOracle:
+    def test_retry_counts_to_its_bound(self):
+        p = lower(RETRY_ST)
+        from repro.lang.interp import Interpreter
+        assert Interpreter(p).run("Retry", [3]) == 3
+        assert Interpreter(p).run("Retry", [0]) == 0
+
+    def test_for_bound_is_fixed_at_entry(self):
+        # IEC 61131-3: the TO expression is evaluated once.  Growing n
+        # inside the body must not extend the loop.
+        p = lower("""
+            FUNCTION Count : INT
+              VAR_INPUT n : INT; END_VAR
+              VAR i : INT; END_VAR
+              FOR i := 1 TO n DO
+                n := n + 1;
+                Count := Count + 1;
+              END_FOR
+            END_FUNCTION
+        """)
+        from repro.lang.interp import Interpreter
+        assert Interpreter(p).run("Count", [4]) == 4
+        assert terminates(p, "Count", [1000]) is True
+
+    def test_repeat_body_runs_at_least_once(self):
+        p = lower("""
+            FUNCTION Once : INT
+              VAR_INPUT limit : INT; END_VAR
+              REPEAT
+                Once := Once + 1;
+              UNTIL Once >= limit
+              END_REPEAT
+            END_FUNCTION
+        """)
+        from repro.lang.interp import Interpreter
+        assert Interpreter(p).run("Once", [-5]) == 1
+
+    def test_divergence_is_observable(self):
+        p = lower("""
+            FUNCTION_BLOCK Spin
+              VAR_INPUT trigger : INT; END_VAR
+              VAR waited : INT; END_VAR
+              waited := 0;
+              WHILE trigger > 0 DO
+                waited := waited + 1;
+              END_WHILE
+            END_FUNCTION_BLOCK
+            """)
+        assert terminates(p, "Spin", [1], fuel=2000) is False
+        assert terminates(p, "Spin", [0], fuel=2000) is True
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: ST-representable programs round-trip through the frontend.
+
+_NAMES = ["a", "b", "c"]
+
+_int_exprs = hyp.recursive(
+    hyp.one_of(
+        hyp.integers(min_value=0, max_value=99).map(ast.IntLit),
+        hyp.sampled_from(_NAMES).map(ast.Var),
+    ),
+    lambda sub: hyp.tuples(
+        hyp.sampled_from(["+", "-", "*"]), sub, sub
+    ).map(lambda t: ast.Binary(t[0], t[1], t[2])),
+    max_leaves=5,
+)
+
+_bool_exprs = hyp.tuples(
+    hyp.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+    _int_exprs,
+    _int_exprs,
+).map(lambda t: ast.Binary(t[0], t[1], t[2]))
+
+_assigns = hyp.tuples(hyp.sampled_from(_NAMES), _int_exprs).map(
+    lambda t: ast.Assign(t[0], t[1])
+)
+
+_stmts = hyp.recursive(
+    _assigns,
+    lambda sub: hyp.one_of(
+        hyp.tuples(_bool_exprs, sub, sub).map(
+            lambda t: ast.If(t[0], t[1], t[2])
+        ),
+        hyp.tuples(_bool_exprs, sub).map(
+            lambda t: ast.While(t[0], t[1])
+        ),
+    ),
+    max_leaves=4,
+)
+
+_ST_OPS = {"==": "=", "!=": "<>"}
+
+
+def _st_expr(e):
+    if isinstance(e, ast.IntLit):
+        return str(e.value)
+    if isinstance(e, ast.Var):
+        return e.name
+    if isinstance(e, ast.Binary):
+        op = _ST_OPS.get(e.op, e.op)
+        return f"({_st_expr(e.left)} {op} {_st_expr(e.right)})"
+    raise AssertionError(e)
+
+
+def _st_stmt(s, indent):
+    pad = "  " * indent
+    if isinstance(s, ast.Assign):
+        return f"{pad}{s.name} := {_st_expr(s.value)};\n"
+    if isinstance(s, ast.If):
+        return (
+            f"{pad}IF {_st_expr(s.cond)} THEN\n"
+            + _st_stmt(s.then, indent + 1)
+            + f"{pad}ELSE\n"
+            + _st_stmt(s.els, indent + 1)
+            + f"{pad}END_IF\n"
+        )
+    if isinstance(s, ast.While):
+        return (
+            f"{pad}WHILE {_st_expr(s.cond)} DO\n"
+            + _st_stmt(s.body, indent + 1)
+            + f"{pad}END_WHILE\n"
+        )
+    raise AssertionError(s)
+
+
+class TestHypothesisRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(_stmts)
+    def test_emitted_st_lowers_back_to_the_same_body(self, stmt):
+        """Render a random native statement as ST, lower it through the
+        frontend, and compare against the native program built around
+        the same statement."""
+        decls = "".join(f"  VAR {n} : INT; END_VAR\n" for n in _NAMES)
+        st_src = (
+            "FUNCTION_BLOCK P\n" + decls + _st_stmt(stmt, 1)
+            + "END_FUNCTION_BLOCK\n"
+        )
+        lowered = lower(st_src)
+        prologue = [ast.VarDecl(ast.INT, n, None) for n in _NAMES]
+        prologue.append(ast.Havoc(tuple(_NAMES)))
+        expected = ast.Program(data_decls={}, methods={"P": ast.Method(
+            ret_type=ast.VOID, name="P", params=[],
+            body=ast.seq(*prologue, stmt),
+        )})
+        assert lowered == expected
+
+
+# ---------------------------------------------------------------------------
+# Error surface: position-carrying diagnostics, subset boundaries.
+
+class TestSTErrors:
+    def err(self, source):
+        with pytest.raises(SourceError) as info:
+            lower(source)
+        return info.value
+
+    def test_positions_on_bad_tokens(self):
+        e = self.err("FUNCTION F : INT\n  F := 1 ?;\nEND_FUNCTION")
+        assert e.pos == (2, 10)
+        assert "line 2, col 10" in str(e)
+
+    def test_diagnostic_objects_render(self):
+        e = self.err("FUNCTION F : INT\n  F := ;\nEND_FUNCTION")
+        (diag,) = e.diagnostics
+        assert diag.code == "parse-error"
+        assert diag.pos is not None and diag.pos[0] == 2
+        assert "line 2" in diag.render()
+
+    def test_reserved_case_statement_gets_a_targeted_message(self):
+        e = self.err(
+            "FUNCTION F : INT\n  VAR_INPUT x : INT; END_VAR\n"
+            "  CASE x OF\n  END_CASE\nEND_FUNCTION"
+        )
+        assert "CASE" in str(e) and "subset" in str(e)
+
+    def test_unknown_type(self):
+        e = self.err(
+            "FUNCTION F : INT\n  VAR t : TIME; END_VAR\nEND_FUNCTION"
+        )
+        assert "TIME" in str(e)
+
+    def test_unterminated_comment(self):
+        e = self.err("(* never closed")
+        assert "comment" in str(e)
+
+    def test_named_argument_typos_are_caught(self):
+        e = self.err("""
+            FUNCTION G : INT
+              VAR_INPUT v : INT; END_VAR
+              G := v;
+            END_FUNCTION
+            FUNCTION F : INT
+              F := G(w := 1);
+            END_FUNCTION
+        """)
+        assert "w" in str(e)
+
+    def test_for_step_must_be_a_nonzero_constant(self):
+        e = self.err("""
+            FUNCTION F : INT
+              VAR_INPUT n : INT; END_VAR
+              VAR i : INT; END_VAR
+              FOR i := 1 TO n BY 0 DO
+                F := F + 1;
+              END_FOR
+            END_FUNCTION
+        """)
+        assert "step" in str(e).lower()
+
+    def test_duplicate_pou(self):
+        e = self.err(
+            "FUNCTION F : INT\n  F := 1;\nEND_FUNCTION\n"
+            "FUNCTION F : INT\n  F := 2;\nEND_FUNCTION"
+        )
+        assert "F" in str(e)
+
+    def test_filename_is_attached_by_the_frontend(self):
+        frontend = get_frontend("st")
+        with pytest.raises(SourceError) as info:
+            frontend.parse("FUNCTION F : INT\n  F := ;\nEND_FUNCTION",
+                           filename="plant.st")
+        assert info.value.filename == "plant.st"

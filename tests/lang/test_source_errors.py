@@ -1,0 +1,66 @@
+"""Structured source errors: every lexer/parser failure carries a
+position and converts to an ``analysis.diagnostics.Diagnostic`` -- the
+contract the service layer relies on to map frontend failures to
+structured 400 bodies instead of 500s."""
+
+import pytest
+
+from repro.lang.errors import SourceError
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse_expr, parse_program
+
+
+def failure(fn, *args):
+    with pytest.raises(SourceError) as info:
+        fn(*args)
+    return info.value
+
+
+class TestPositions:
+    def test_lexer_unexpected_character(self):
+        e = failure(tokenize, "int x = 1;\nint y = $;")
+        assert isinstance(e, LexError)
+        assert e.pos == (2, 9)
+        assert "line 2, col 9" in str(e)
+
+    def test_lexer_unterminated_comment(self):
+        e = failure(tokenize, "int x;\n/* runs off")
+        assert e.pos is not None and e.pos[0] == 2
+
+    def test_parser_unexpected_token(self):
+        e = failure(parse_program, "int f() { return + ; }")
+        assert e.pos is not None and e.pos[0] == 1
+
+    def test_parser_eof_reads_as_end_of_input(self):
+        e = failure(parse_program, "int f() { return 1;")
+        assert "end of input" in str(e)
+
+    def test_trailing_input_after_expression(self):
+        e = failure(parse_expr, "1 + 2 junk")
+        assert e.pos is not None
+        assert "junk" in str(e) or "unexpected" in str(e)
+
+
+class TestErrorShape:
+    def test_bare_message_excludes_the_position_suffix(self):
+        e = failure(parse_program, "int f() { return + ; }")
+        assert e.bare_message in str(e)
+        assert "line" not in e.bare_message
+
+    def test_lexer_and_parser_share_the_sourceerror_base(self):
+        assert issubclass(LexError, SourceError)
+        assert issubclass(ParseError, SourceError)
+
+    def test_diagnostic_conversion(self):
+        e = failure(parse_program, "int f() { @ }")
+        (diag,) = e.diagnostics
+        assert diag.pos == e.pos
+        assert diag.message == e.bare_message
+        assert diag.code in ("parse-error", "lex-error")
+        rendered = diag.render()
+        assert "error" in rendered and "line" in rendered
+
+    def test_filename_round_trips(self):
+        e = SourceError("boom", pos=(3, 1), filename="plant.st")
+        assert e.filename == "plant.st"
+        assert e.pos == (3, 1)

@@ -17,6 +17,7 @@ class TestValid:
         assert errors == []
         assert params == {
             "source": SRC,
+            "language": "native",  # null normalizes to the default
             "max_iter": 8,
             "time_budget": 15.0,
             "backend": None,

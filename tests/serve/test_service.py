@@ -121,8 +121,21 @@ class TestRoutes:
                 assert json.loads(body)["error"] == "invalid-request"
 
                 status, _, body = await analyze(port, "int f( {{{")
-                assert status == 422
-                assert json.loads(body)["error"] == "parse-error"
+                assert status == 400
+                payload = json.loads(body)
+                assert payload["error"] == "parse-error"
+                # satellite of the frontends PR: parse failures are
+                # structured 400s carrying position-bearing diagnostics
+                assert any("line 1" in d for d in payload["diagnostics"])
+
+                # lexer failures must map the same way, not fall through
+                # to a 500 internal error
+                status, _, body = await analyze(port, "int f() { $ }")
+                assert status == 400
+                payload = json.loads(body)
+                assert payload["error"] == "parse-error"
+                assert any("unexpected character" in d
+                           for d in payload["diagnostics"])
 
                 status, _, body = await analyze(port, MICRO, backend="nope")
                 assert status == 400
@@ -276,9 +289,9 @@ class TestQueue:
             ))
             try:
                 program = parse_program(MICRO)
-                knobs = {"max_iter": 8, "time_budget": 15.0,
-                         "backend": None, "preanalysis": False,
-                         "validate": True}
+                knobs = {"language": "native", "max_iter": 8,
+                         "time_budget": 15.0, "backend": None,
+                         "preanalysis": False, "validate": True}
                 fingerprint = request_fingerprint(program, knobs)
                 service.dedup.begin(fingerprint)
                 service._pending = 1

@@ -129,3 +129,71 @@ class TestPositionAndHintFields:
         base = method_digest(program.methods["bottom"])
         program.methods["bottom"].rank_hints = ("n",)
         assert method_digest(program.methods["bottom"]) != base
+
+
+class TestGoldenDigests:
+    """Pinned pre-frontend-refactor digests.
+
+    The frontends refactor threaded a ``language`` salt through the
+    store-key header with the contract that the native path stays
+    *byte-identical*: a warm store populated before the refactor must
+    keep hitting after it.  These hex digests were captured on the
+    pre-refactor tree; if one changes, native store compatibility broke.
+    """
+
+    SRC = (
+        "int dec(int n) { if (n <= 0) { return 0; } "
+        "else { return dec(n - 1); } }\n"
+        "void main(int x) {\n"
+        "  while (x > 0) { x = x - 1; }\n"
+        "}"
+    )
+
+    GOLDEN_METHOD_DIGESTS = {
+        "dec":
+            "28c3f6b3c44200d05dc819cf53ac213325b534cd"
+            "02d8342866cdb3bae3e07a10",
+        "main":
+            "f7c809231c3353e6b77651b890524602cef9d234"
+            "e7f8da46070c3af13a7ff4ce",
+        "main_loop0":
+            "2c9d395ef22947e59d0fab18806d43c0ae8fda8e"
+            "d2eda7461fc3234be0493075",
+    }
+
+    GOLDEN_SCC_KEYS = {
+        ("dec",):
+            "bd5553ac6a322adb28ecea1cca6da70713562c7f"
+            "adb3109b2e64dc9cd128d6a3",
+        ("main",):
+            "974180ed4af864ab149d484d13b3790e19852296"
+            "78cf7236669b9724b91fd888",
+        ("main_loop0",):
+            "e6fb8c6d48308642d5909cafd967044f963b5601"
+            "fc58474591e12fe2139d6b88",
+    }
+
+    def _program(self):
+        return desugar_program(parse_program(self.SRC))
+
+    def test_method_digests_unchanged(self):
+        program = self._program()
+        got = {name: method_digest(m)
+               for name, m in program.methods.items()}
+        assert got == self.GOLDEN_METHOD_DIGESTS
+
+    def test_native_scc_keys_unchanged(self):
+        assert _keys_by_scc(self.SRC) == self.GOLDEN_SCC_KEYS
+
+    def test_language_salt_changes_every_key(self):
+        program = self._program()
+        _, _, native = program_store_keys(program, 8, 30.0)
+        _, _, salted = program_store_keys(program, 8, 30.0, language="st")
+        assert set(native).isdisjoint(set(salted))
+
+    def test_native_is_the_default_language(self):
+        program = self._program()
+        _, _, implicit = program_store_keys(program, 8, 30.0)
+        _, _, explicit = program_store_keys(program, 8, 30.0,
+                                            language="native")
+        assert implicit == explicit
