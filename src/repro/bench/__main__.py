@@ -1,4 +1,16 @@
-"""Command-line harness: ``python -m repro.bench {fig10,fig11,st,analyze}``.
+"""Command-line harness:
+``python -m repro.bench {fig10,fig11,st,analyze,corpus}``.
+
+``corpus`` runs the ground-truth corpus harness (``docs/corpus.md``):
+``--generate N --seed S`` sweeps N seeded known-verdict programs from
+the property-based generator (cross-checked against the concrete
+interpreter, disagreements shrunk to minimized reproducers), ``--dir
+PATH`` scores a directory-of-files corpus with a ``labels.json``
+manifest, and with neither flag the builtin corpora (the fig10/fig11
+registry and the labeled ST controllers) are scored.  Prints a per-class
+precision/recall/confusion table and exits nonzero on any soundness
+violation or oracle disagreement.  ``--inject-flip ID`` deliberately
+flips one ground-truth label as a harness self-test.
 
 ``st`` checks the labeled IEC 61131-3 Structured Text controller corpus
 (``examples/st_controllers/``, parsed through the ``st`` frontend) one
@@ -48,7 +60,9 @@ def main() -> None:
         prog="python -m repro.bench",
         description="Regenerate the paper's evaluation tables.",
     )
-    parser.add_argument("table", choices=["fig10", "fig11", "st", "analyze"])
+    parser.add_argument(
+        "table", choices=["fig10", "fig11", "st", "analyze", "corpus"]
+    )
     parser.add_argument(
         "paths", nargs="*", metavar="FILE",
         help="source files for the 'analyze' command (frontend sniffed "
@@ -57,7 +71,32 @@ def main() -> None:
     parser.add_argument(
         "--language", metavar="NAME", default=None,
         help="source frontend for 'analyze' inputs (native, st); default "
-        "sniffs each file's extension",
+        "sniffs each file's extension. For 'corpus --dir' it overrides "
+        "the manifest's language.",
+    )
+    parser.add_argument(
+        "--generate", type=int, metavar="N", default=None,
+        help="'corpus': sweep N seeded known-verdict programs from the "
+        "property-based generator instead of an on-disk corpus",
+    )
+    parser.add_argument(
+        "--seed", metavar="S", default="demo",
+        help="'corpus --generate': generator seed (default: demo); the "
+        "same (N, S) reproduces the identical corpus and report",
+    )
+    parser.add_argument(
+        "--dir", metavar="PATH", default=None,
+        help="'corpus': score the labels.json-manifested corpus in PATH",
+    )
+    parser.add_argument(
+        "--fuel", type=int, metavar="STEPS", default=None,
+        help="'corpus': interpreter-oracle step budget for cross-checking "
+        "generated/witnessed instances (default: 60000)",
+    )
+    parser.add_argument(
+        "--inject-flip", metavar="ID", default=None,
+        help="'corpus': deliberately flip the ground-truth label of "
+        "instance ID (harness self-test; the run must fail)",
     )
     parser.add_argument(
         "--timeout", type=float, default=60.0,
@@ -113,8 +152,20 @@ def main() -> None:
         sys.exit(_analyze_files(args))
     if args.paths:
         parser.error(f"'{args.table}' takes no FILE arguments")
-    if args.language is not None:
-        parser.error("--language only applies to the 'analyze' command")
+    if args.language is not None and args.table != "corpus":
+        parser.error(
+            "--language only applies to the 'analyze' and 'corpus' commands"
+        )
+    if args.table != "corpus" and (
+        args.generate is not None or args.dir or args.fuel is not None
+        or args.inject_flip
+    ):
+        parser.error(
+            "--generate/--seed/--dir/--fuel/--inject-flip only apply to "
+            "the 'corpus' command"
+        )
+    if args.table == "corpus" and args.check_preanalysis:
+        parser.error("'corpus' takes no --check-preanalysis")
     if args.table == "st" and (
         args.backend or args.cold or args.check_preanalysis
     ):
@@ -134,6 +185,8 @@ def main() -> None:
         from repro.store import SpecStore
 
         SpecStore(args.store).wipe()
+    if args.table == "corpus":
+        sys.exit(_corpus(args, parser))
     if args.check_preanalysis:
         sys.exit(_check_preanalysis(args))
     if args.table == "st":
@@ -151,6 +204,70 @@ def main() -> None:
         print(fig11_table(timeout=args.timeout, jobs=args.jobs,
                           store=args.store, backend=args.backend,
                           preanalysis=args.preanalysis))
+
+
+def _corpus(args, parser) -> int:
+    """``corpus``: run the ground-truth harness and score it.
+
+    Exit code 0 when every swept benchmark is clean, 1 on any soundness
+    violation or oracle disagreement.  Output carries no wall-clock data,
+    so a seeded ``--generate`` rerun is byte-identical.
+    """
+    from repro.corpus import (
+        DirectoryBenchmark,
+        GeneratedBenchmark,
+        ManifestError,
+        builtin_benchmarks,
+        run_corpus,
+    )
+    from repro.corpus.run import DEFAULT_FUEL
+
+    if args.generate is not None and args.dir:
+        parser.error("--generate and --dir are mutually exclusive")
+    if args.generate is not None and args.generate <= 0:
+        parser.error("--generate needs a positive N")
+    if args.generate is not None:
+        benchmarks = [GeneratedBenchmark(args.generate, seed=args.seed)]
+    elif args.dir:
+        try:
+            benchmarks = [
+                DirectoryBenchmark(args.dir, language=args.language)
+            ]
+        except ManifestError as exc:
+            print(f"corpus: {exc}", file=sys.stderr)
+            return 2
+    else:
+        benchmarks = builtin_benchmarks()
+    if args.inject_flip is not None and not any(
+        any(inst.id == args.inject_flip for inst in bench)
+        for bench in benchmarks
+    ):
+        print(
+            f"corpus: no instance named {args.inject_flip!r} to flip",
+            file=sys.stderr,
+        )
+        return 2
+
+    status = 0
+    for bench in benchmarks:
+        flip = args.inject_flip
+        if flip is not None and not any(i.id == flip for i in bench):
+            flip = None  # the flipped instance lives in another benchmark
+        result = run_corpus(
+            bench,
+            timeout=args.timeout,
+            jobs=args.jobs,
+            store=args.store,
+            backend=args.backend,
+            time_budget=min(args.timeout, 15.0),
+            fuel=args.fuel if args.fuel is not None else DEFAULT_FUEL,
+            flip=flip,
+        )
+        print(result.render())
+        print()
+        if not result.ok:
+            status = 1
+    return status
 
 
 def _analyze_files(args) -> int:

@@ -1,0 +1,61 @@
+"""Ground-truth corpus harness: labeled benchmarks, a known-verdict
+program generator, and precision/recall scoring (``docs/corpus.md``)."""
+
+from repro.corpus.benchmark import (
+    Benchmark,
+    CorpusInstance,
+    DirectoryBenchmark,
+    Label,
+    MANIFEST_NAME,
+    ManifestError,
+    RegistryBenchmark,
+    builtin_benchmarks,
+    label_to_verdict,
+    load_benchmark,
+    parse_label,
+    verdict_to_label,
+)
+from repro.corpus.generate import (
+    GeneratedBenchmark,
+    generate_instance,
+    generate_program,
+)
+from repro.corpus.run import (
+    CorpusResult,
+    Disagreement,
+    crosscheck_instance,
+    inject_flip,
+    minimize_violation,
+    run_corpus,
+)
+from repro.corpus.score import ClassScore, ScoreReport, Violation, score
+from repro.corpus.shrink import shrink_program
+
+__all__ = [
+    "Benchmark",
+    "ClassScore",
+    "CorpusInstance",
+    "CorpusResult",
+    "DirectoryBenchmark",
+    "Disagreement",
+    "GeneratedBenchmark",
+    "Label",
+    "MANIFEST_NAME",
+    "ManifestError",
+    "RegistryBenchmark",
+    "ScoreReport",
+    "Violation",
+    "builtin_benchmarks",
+    "crosscheck_instance",
+    "generate_instance",
+    "generate_program",
+    "inject_flip",
+    "label_to_verdict",
+    "load_benchmark",
+    "minimize_violation",
+    "parse_label",
+    "run_corpus",
+    "score",
+    "shrink_program",
+    "verdict_to_label",
+]

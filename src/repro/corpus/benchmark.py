@@ -1,0 +1,350 @@
+"""Labeled benchmark corpora: instances with ground-truth verdicts.
+
+A :class:`Benchmark` is an iterable collection of
+:class:`CorpusInstance`\\ s, each carrying an id, source text, a source
+language (frontend name), an entry method and a ground-truth
+:class:`Label` in {TERM, NONTERM, UNKNOWN}.  Benchmarks own a *class
+mapping* translating their native label vocabulary (``"Y"``/``"N"``,
+``"true"``/``"false"``, SV-COMP ``expected_verdict`` strings, ...) onto
+the standard labels, so the scoring layer (:mod:`repro.corpus.score`)
+never sees benchmark-specific classes -- the shape of DEFAME's
+``eval/benchmark.py``.
+
+Three loaders ship in-tree:
+
+* :class:`RegistryBenchmark` -- the hand-ported fig10/fig11 programs of
+  :mod:`repro.bench.programs` (the paper's evaluation corpus);
+* :class:`DirectoryBenchmark` -- a directory of source files with a
+  ``labels.json`` manifest (``examples/st_controllers/`` is the first
+  instance; SV-COMP-style task sets ingest the same way);
+* :class:`~repro.corpus.generate.GeneratedBenchmark` -- the
+  property-based random program generator whose labels are true *by
+  construction* (and double-checked against the concrete interpreter).
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import Verdict
+
+
+class Label(enum.Enum):
+    """Standard ground-truth classes for termination corpora.
+
+    ``TERM`` -- the entry method halts for **all** inputs (and all
+    nondeterministic choices); ``NONTERM`` -- **some** input (and choice
+    sequence) diverges; ``UNKNOWN`` -- the corpus does not commit (also
+    spelled ``MAYBE`` in some task sets).  The vocabulary deliberately
+    matches :class:`repro.core.pipeline.Verdict` one-to-one so verdicts
+    score directly against labels.
+    """
+
+    TERM = "TERM"
+    NONTERM = "NONTERM"
+    UNKNOWN = "UNKNOWN"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Names accepted for each label in manifests and class mappings, beyond
+#: the canonical spelling (case-insensitive).
+_LABEL_ALIASES: Dict[str, Label] = {
+    "TERM": Label.TERM,
+    "TERMINATING": Label.TERM,
+    "Y": Label.TERM,
+    "TRUE": Label.TERM,
+    "NONTERM": Label.NONTERM,
+    "NONTERMINATING": Label.NONTERM,
+    "N": Label.NONTERM,
+    "FALSE": Label.NONTERM,
+    "UNKNOWN": Label.UNKNOWN,
+    "MAYBE": Label.UNKNOWN,
+    "U": Label.UNKNOWN,
+}
+
+
+def parse_label(text: str) -> Label:
+    """A :class:`Label` from any accepted spelling (case-insensitive)."""
+    try:
+        return _LABEL_ALIASES[str(text).strip().upper()]
+    except KeyError:
+        raise ValueError(f"unknown ground-truth label {text!r}") from None
+
+
+def verdict_to_label(verdict: Optional[Verdict]) -> Label:
+    """Collapse a tool verdict (``None`` = timeout) onto the label axis."""
+    if verdict is Verdict.TERMINATING:
+        return Label.TERM
+    if verdict is Verdict.NONTERMINATING:
+        return Label.NONTERM
+    return Label.UNKNOWN
+
+
+def label_to_verdict(label: Label) -> Verdict:
+    """The verdict a perfectly precise tool would return for *label*."""
+    return {
+        Label.TERM: Verdict.TERMINATING,
+        Label.NONTERM: Verdict.NONTERMINATING,
+        Label.UNKNOWN: Verdict.UNKNOWN,
+    }[label]
+
+
+@dataclass(frozen=True)
+class CorpusInstance:
+    """One labeled program of a benchmark.
+
+    *witness* is an optional input vector for NONTERM instances: entry
+    arguments under which the program provably diverges (generated
+    instances carry one by construction; manifest instances may).
+    *origin* records where the instance came from (file path, seed, or
+    registry name) for reporting.  Heap-spec'd registry programs cannot
+    be rebuilt from source alone, so an instance may carry its
+    :class:`~repro.bench.programs.BenchProgram` directly.
+    """
+
+    id: str
+    source: str
+    language: str
+    entry: str
+    label: Label
+    origin: str = ""
+    witness: Optional[Tuple[int, ...]] = None
+    bench: Optional[object] = field(default=None, compare=False, repr=False)
+
+    def program(self):
+        """The parsed (sugared) :class:`~repro.lang.ast.Program`."""
+        if self.bench is not None:
+            return self.bench.program()
+        from repro.lang.frontends import get_frontend
+
+        return get_frontend(self.language).parse(self.source)
+
+    def to_bench(self):
+        """This instance as a :class:`~repro.bench.programs.BenchProgram`
+        so the sharded bench runner can execute it unchanged."""
+        if self.bench is not None:
+            return self.bench
+        from repro.bench.programs import BenchProgram
+
+        return BenchProgram(
+            name=self.id,
+            category="corpus",
+            source=self.source,
+            main=self.entry,
+            expected=label_to_verdict(self.label),
+            language=self.language,
+        )
+
+
+class Benchmark:
+    """An iterable labeled corpus with a benchmark-specific class mapping.
+
+    Subclasses populate ``self._instances`` (or override
+    :meth:`instances`).  ``class_mapping`` translates the benchmark's
+    native label vocabulary to :class:`Label`; loaders apply it at
+    ingestion time so every instance already carries a standard label.
+    """
+
+    #: native label -> standard Label; subclasses/manifests may override.
+    class_mapping: Dict[str, Label] = dict(_LABEL_ALIASES)
+
+    def __init__(self, name: str):
+        self.name = name
+        self._instances: List[CorpusInstance] = []
+
+    def map_class(self, native: str) -> Label:
+        """*native* through this benchmark's class mapping."""
+        key = str(native).strip()
+        for candidate in (key, key.upper()):
+            if candidate in self.class_mapping:
+                return self.class_mapping[candidate]
+        raise ValueError(
+            f"benchmark {self.name!r}: unmapped class {native!r} "
+            f"(mapping knows {sorted(self.class_mapping)})"
+        )
+
+    def instances(self) -> List[CorpusInstance]:
+        return list(self._instances)
+
+    def labels(self) -> List[Label]:
+        """Ground-truth labels, in corpus order."""
+        return [inst.label for inst in self]
+
+    def classes(self) -> List[Label]:
+        """Distinct labels occurring in this corpus, in Label order."""
+        present = {inst.label for inst in self}
+        return [lab for lab in Label if lab in present]
+
+    def get_by_id(self, instance_id: str) -> CorpusInstance:
+        for inst in self:
+            if inst.id == instance_id:
+                return inst
+        raise KeyError(f"no instance with id {instance_id!r}")
+
+    def __iter__(self) -> Iterator[CorpusInstance]:
+        return iter(self.instances())
+
+    def __len__(self) -> int:
+        return len(self.instances())
+
+
+class RegistryBenchmark(Benchmark):
+    """The hand-ported fig10/fig11 programs as a labeled corpus.
+
+    The registry's ground truth is already a
+    :class:`~repro.core.pipeline.Verdict`, so the class mapping is the
+    identity on ``Y``/``N``/``U``.  *categories* restricts to a subset
+    (default: the four paper categories, in registry order).
+    """
+
+    def __init__(self, categories: Optional[Sequence[str]] = None,
+                 name: str = "fig-programs"):
+        super().__init__(name)
+        from repro.bench.programs import CATEGORIES, all_programs
+
+        wanted = tuple(categories) if categories is not None else CATEGORIES
+        for bench in all_programs():
+            if bench.category not in wanted:
+                continue
+            self._instances.append(
+                CorpusInstance(
+                    id=bench.name,
+                    source=bench.source,
+                    language=bench.language,
+                    entry=bench.main,
+                    label=self.map_class(str(bench.expected)),
+                    origin=f"registry:{bench.category}",
+                    bench=bench,
+                )
+            )
+
+
+#: Manifest filename a :class:`DirectoryBenchmark` looks for.
+MANIFEST_NAME = "labels.json"
+
+
+class ManifestError(ValueError):
+    """A labels manifest is missing, malformed, or inconsistent."""
+
+
+class DirectoryBenchmark(Benchmark):
+    """A directory of source files with a ``labels.json`` manifest.
+
+    Manifest schema (``docs/corpus.md``)::
+
+        {
+          "benchmark": "st-controllers",          // corpus name
+          "language": "st",                       // default frontend
+          "class_mapping": {"Y": "TERM", ...},    // optional; native->std
+          "instances": [
+            {"file": "ramp_up.st", "entry": "RampUp", "label": "Y",
+             "language": "st",                    // optional override
+             "witness": [3, 0]}                   // optional, NONTERM
+          ]
+        }
+
+    Files are read relative to the manifest's directory; the instance id
+    is the file name without its extension.  Unknown labels, missing
+    files and duplicate ids all raise :class:`ManifestError` at load
+    time -- a corpus must be wholly well-formed before anything runs.
+    """
+
+    def __init__(self, path, name: Optional[str] = None,
+                 language: Optional[str] = None):
+        directory = pathlib.Path(path)
+        manifest_path = directory / MANIFEST_NAME
+        if directory.is_file():  # pointing at the manifest itself is fine
+            manifest_path, directory = directory, directory.parent
+        if not manifest_path.is_file():
+            raise ManifestError(f"no {MANIFEST_NAME} manifest in {directory}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"{manifest_path}: invalid JSON: {exc}") from None
+        if not isinstance(manifest, dict) or "instances" not in manifest:
+            raise ManifestError(f"{manifest_path}: no 'instances' list")
+        super().__init__(
+            name or manifest.get("benchmark") or directory.name
+        )
+        if "class_mapping" in manifest:
+            try:
+                self.class_mapping = {
+                    str(k): parse_label(v)
+                    for k, v in manifest["class_mapping"].items()
+                }
+            except (AttributeError, ValueError) as exc:
+                raise ManifestError(
+                    f"{manifest_path}: bad class_mapping: {exc}"
+                ) from None
+        # an explicit constructor override beats both manifest levels
+        default_language = manifest.get("language", "native")
+        seen: set = set()
+        for entry in manifest["instances"]:
+            try:
+                fname = entry["file"]
+                label = self.map_class(entry["label"])
+                entry_method = entry["entry"]
+            except (TypeError, KeyError) as exc:
+                raise ManifestError(
+                    f"{manifest_path}: instance needs file/entry/label "
+                    f"({exc})"
+                ) from None
+            except ValueError as exc:
+                raise ManifestError(f"{manifest_path}: {exc}") from None
+            source_path = directory / fname
+            if not source_path.is_file():
+                raise ManifestError(f"{manifest_path}: no such file {fname!r}")
+            instance_id = source_path.stem
+            if instance_id in seen:
+                raise ManifestError(
+                    f"{manifest_path}: duplicate instance id {instance_id!r}"
+                )
+            seen.add(instance_id)
+            witness = entry.get("witness")
+            self._instances.append(
+                CorpusInstance(
+                    id=instance_id,
+                    source=source_path.read_text(),
+                    language=language or entry.get(
+                        "language", default_language
+                    ),
+                    entry=entry_method,
+                    label=label,
+                    origin=str(source_path),
+                    witness=tuple(witness) if witness is not None else None,
+                )
+            )
+
+
+def builtin_benchmarks() -> List[Benchmark]:
+    """The corpora shipped in-tree: the fig10/fig11 registry programs and
+    the labeled ST controller directory (when its checkout exists)."""
+    out: List[Benchmark] = [RegistryBenchmark()]
+    st_dir = (
+        pathlib.Path(__file__).resolve().parents[3]
+        / "examples" / "st_controllers"
+    )
+    if (st_dir / MANIFEST_NAME).is_file():
+        out.append(DirectoryBenchmark(st_dir))
+    return out
+
+
+def load_benchmark(spec: str) -> Benchmark:
+    """A benchmark from a CLI-style *spec*: the name of a builtin corpus
+    (``fig-programs``, ``st-controllers``) or a directory path holding a
+    ``labels.json`` manifest."""
+    for bench in builtin_benchmarks():
+        if bench.name == spec:
+            return bench
+    path = pathlib.Path(spec)
+    if path.exists():
+        return DirectoryBenchmark(path)
+    raise ManifestError(
+        f"no builtin benchmark or manifest directory named {spec!r}"
+    )

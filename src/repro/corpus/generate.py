@@ -1,0 +1,409 @@
+"""Property-based random program generator with verdicts known by construction.
+
+Every generated program is assembled exclusively from fragments whose
+termination behaviour is decided *structurally*, so the ground-truth
+label never depends on running (or analyzing) anything:
+
+* **TERM fragments** terminate for all inputs and all nondeterministic
+  choices: straight-line assignments, branches whose arms are both TERM,
+  counting/countdown loops whose counter moves monotonically by a
+  non-zero constant toward a bound that is provably loop-invariant
+  (constants, or variables the loop body is forbidden to assign), and
+  calls to helpers that are TERM for all arguments (including a
+  structurally-decreasing recursion template).
+* **DIVERGENT fragments** diverge whenever control reaches them, for
+  every state: a pumped loop ``d = 1; while (d > 0) { d = d + s }`` with
+  ``s >= 0``, a parity-stuck loop ``d = odd; while (d != 0) { d = d - 2 }``
+  (an odd counter stepped by 2 never meets 0), and calls to helpers
+  built from the same fragments (including an ``f(x) = f(x + 1)``
+  recursion template).
+
+The entry method of a **TERM-labeled** program is a sequence of TERM
+fragments.  A **NONTERM-labeled** program is the same with one divergent
+fragment spliced in -- either unconditionally (any input is a divergence
+witness) or guarded by ``if (p > 0)`` on an entry parameter (witness:
+``p = 1``).  Entry parameters are *never assigned*, so guard
+reachability is decided at entry; every fragment before the divergence
+point is TERM, so the witness provably reaches it.  The recorded witness
+makes each NONTERM instance falsifiable by the concrete interpreter
+(:func:`repro.lang.interp.observe`), which is exactly what the fuzz
+harness checks (:mod:`repro.corpus.run`).
+
+Generation is seeded and reproducible: instance *i* of
+``GeneratedBenchmark(n, seed)`` depends only on ``(seed, i)``, and the
+emitted source is the pretty-printed AST, so a seeded rerun is
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.corpus.benchmark import Benchmark, CorpusInstance, Label
+from repro.lang.ast import (
+    Assign,
+    Binary,
+    CallExpr,
+    CallStmt,
+    Expr,
+    If,
+    IntLit,
+    Method,
+    Nondet,
+    Param,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    Var,
+    VarDecl,
+    While,
+    INT,
+    VOID,
+    seq,
+)
+from repro.lang.pretty import pretty_program
+
+#: Hard caps keeping generated programs small enough that a TERM program
+#: always halts well inside the oracle's fuel budget: loop bounds and
+#: literals stay in [0, _MAX_CONST], loop nesting below _MAX_DEPTH, and
+#: oracle sample inputs in [-_SAMPLE_SPAN, _SAMPLE_SPAN].
+_MAX_CONST = 8
+_MAX_DEPTH = 2
+_SAMPLE_SPAN = 6
+
+
+class _Gen:
+    """One program's worth of seeded generation state."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.fresh = 0
+        # (name, arity, returns_int) of helpers TERM for all arguments
+        self.term_helpers: List[Tuple[str, int, bool]] = []
+        # (name, arity) of helpers divergent for all arguments
+        self.div_helpers: List[Tuple[str, int]] = []
+        self.methods: List[Method] = []
+
+    def fresh_name(self, prefix: str) -> str:
+        self.fresh += 1
+        return f"{prefix}{self.fresh}"
+
+    # -- expressions --------------------------------------------------------
+
+    def const(self, lo: int = 0, hi: int = _MAX_CONST) -> IntLit:
+        return IntLit(self.rng.randint(lo, hi))
+
+    def linexpr(self, scope: Sequence[str], nondet_ok: bool = True) -> Expr:
+        """A small arithmetic expression over *scope* (values stay modest:
+        sums/differences and 2x/3x scalings of in-scope values)."""
+        rng = self.rng
+        kinds = ["const", "var", "var+c", "var-c", "var+var", "c*var"]
+        if nondet_ok:
+            kinds.append("nondet")
+        if not scope:
+            kinds = ["const"] + (["nondet"] if nondet_ok else [])
+        kind = rng.choice(kinds)
+        if kind == "const":
+            return self.const()
+        if kind == "nondet":
+            return Nondet()
+        v = Var(rng.choice(list(scope)))
+        if kind == "var":
+            return v
+        if kind == "var+c":
+            return Binary("+", v, self.const())
+        if kind == "var-c":
+            return Binary("-", v, self.const())
+        if kind == "var+var":
+            return Binary("+", v, Var(rng.choice(list(scope))))
+        return Binary("*", IntLit(rng.randint(2, 3)), v)
+
+    def guard(self, scope: Sequence[str]) -> Expr:
+        """A comparison usable as a branch condition (never a loop guard:
+        loop guards are owned by the loop templates)."""
+        rng = self.rng
+        op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        if scope and rng.random() < 0.85:
+            left: Expr = Var(rng.choice(list(scope)))
+        else:
+            left = self.const()
+        if scope and rng.random() < 0.5:
+            right: Expr = Var(rng.choice(list(scope)))
+        else:
+            right = self.const()
+        return Binary(op, left, right)
+
+    # -- TERM fragments -----------------------------------------------------
+
+    def term_block(self, scope: List[str], protected: frozenset,
+                   budget: int, depth: int) -> List[Stmt]:
+        """*budget* TERM fragments; may append fresh locals to *scope*
+        (same-block declarations, visible to later fragments)."""
+        out: List[Stmt] = []
+        for _ in range(budget):
+            out.extend(self.term_fragment(scope, protected, depth))
+        return out
+
+    def term_fragment(self, scope: List[str], protected: frozenset,
+                      depth: int) -> List[Stmt]:
+        rng = self.rng
+        kinds = ["decl", "assign", "assign"]
+        if depth < _MAX_DEPTH:
+            kinds += ["count_loop", "down_loop", "branch"]
+        if self.term_helpers:
+            kinds.append("call")
+        kind = rng.choice(kinds)
+        if kind == "decl":
+            name = self.fresh_name("t")
+            stmt = VarDecl(INT, name, self.linexpr(scope))
+            scope.append(name)
+            return [stmt]
+        if kind == "assign":
+            targets = [v for v in scope if v not in protected]
+            if not targets:  # everything in scope is protected: declare
+                name = self.fresh_name("t")
+                stmt = VarDecl(INT, name, self.linexpr(scope))
+                scope.append(name)
+                return [stmt]
+            return [Assign(rng.choice(targets), self.linexpr(scope))]
+        if kind == "call":
+            name, arity, returns_int = rng.choice(self.term_helpers)
+            args = tuple(self.linexpr(scope) for _ in range(arity))
+            if returns_int:
+                out = self.fresh_name("t")
+                stmt = VarDecl(INT, out, CallExpr(name, args))
+                scope.append(out)
+                return [stmt]
+            return [CallStmt(name, args)]
+        if kind == "branch":
+            then_scope, else_scope = list(scope), list(scope)
+            return [
+                If(
+                    self.guard(scope),
+                    seq(*self.term_block(then_scope, protected, 1, depth + 1)),
+                    seq(*self.term_block(else_scope, protected, 1, depth + 1)),
+                )
+            ]
+        if kind == "count_loop":
+            return self.counting_loop(scope, protected, depth)
+        return self.countdown_loop(scope, protected, depth)
+
+    def counting_loop(self, scope: List[str], protected: frozenset,
+                      depth: int) -> List[Stmt]:
+        """``int i = 0; while (i < B) { body; i = i + s; }`` -- terminates
+        for all inputs: ``s >= 1`` is constant, ``i`` strictly increases,
+        and the bound ``B`` (a constant or an in-scope variable) is
+        protected from assignment for the loop's extent."""
+        rng = self.rng
+        i = self.fresh_name("i")
+        step = rng.randint(1, 3)
+        if scope and rng.random() < 0.5:
+            bound: Expr = Var(rng.choice(list(scope)))
+            inner_protected = protected | {i, bound.name}
+        else:
+            bound = self.const(1, _MAX_CONST)
+            inner_protected = protected | {i}
+        body_scope = list(scope) + [i]
+        body = self.term_block(
+            body_scope, inner_protected, rng.randint(0, 2), depth + 1
+        )
+        body.append(Assign(i, Binary("+", Var(i), IntLit(step))))
+        return [
+            VarDecl(INT, i, IntLit(0)),
+            While(Binary("<", Var(i), bound), seq(*body)),
+        ]
+
+    def countdown_loop(self, scope: List[str], protected: frozenset,
+                       depth: int) -> List[Stmt]:
+        """``int i = E; while (i > 0) { body; i = i - s; }`` -- terminates
+        for all inputs: ``s >= 1`` is constant and ``i`` strictly
+        decreases toward the fixed zero bound."""
+        rng = self.rng
+        i = self.fresh_name("i")
+        step = rng.randint(1, 3)
+        init = self.linexpr(scope)
+        body_scope = list(scope) + [i]
+        body = self.term_block(
+            body_scope, protected | {i}, rng.randint(0, 2), depth + 1
+        )
+        body.append(Assign(i, Binary("-", Var(i), IntLit(step))))
+        return [
+            VarDecl(INT, i, init),
+            While(Binary(">", Var(i), IntLit(0)), seq(*body)),
+        ]
+
+    # -- divergent fragments ------------------------------------------------
+
+    def divergent_fragment(self, scope: List[str],
+                           protected: frozenset) -> List[Stmt]:
+        """A fragment that diverges whenever control reaches it, for every
+        program state and every nondeterministic choice."""
+        kinds = ["pump", "parity"]
+        if self.div_helpers:
+            kinds.append("call")
+        kind = self.rng.choice(kinds)
+        if kind == "call":
+            name, arity = self.rng.choice(self.div_helpers)
+            args = tuple(self.linexpr(scope) for _ in range(arity))
+            return [CallStmt(name, args)]
+        d = self.fresh_name("d")
+        if kind == "pump":
+            # d starts at 1 and never decreases: d > 0 holds forever.
+            step = self.rng.randint(0, 3)
+            body_scope = list(scope) + [d]
+            body = self.term_block(
+                body_scope, protected | {d}, self.rng.randint(0, 1), _MAX_DEPTH
+            )
+            body.append(Assign(d, Binary("+", Var(d), IntLit(step))))
+            return [
+                VarDecl(INT, d, IntLit(1)),
+                While(Binary(">", Var(d), IntLit(0)), seq(*body)),
+            ]
+        # parity-stuck: an odd counter stepped by 2 never meets 0.
+        start = 2 * self.rng.randint(0, _MAX_CONST // 2) + 1
+        return [
+            VarDecl(INT, d, IntLit(start)),
+            While(
+                Binary("!=", Var(d), IntLit(0)),
+                Assign(d, Binary("-", Var(d), IntLit(2))),
+            ),
+        ]
+
+    # -- helpers ------------------------------------------------------------
+
+    def emit_term_helper(self) -> None:
+        """A helper method that terminates for every argument vector."""
+        rng = self.rng
+        name = self.fresh_name("h")
+        arity = rng.randint(1, 2)
+        params = [Param(INT, f"a{k}") for k in range(arity)]
+        pnames = [p.name for p in params]
+        shape = rng.choice(["loopy", "loopy", "recursive"])
+        if shape == "recursive":
+            # f(n, ...) = f(n - c, ...), bottoming out at n <= 0: the
+            # first argument strictly decreases by a positive constant.
+            dec = rng.randint(1, 3)
+            rec_args: Tuple[Expr, ...] = tuple(
+                Binary("-", Var(pnames[0]), IntLit(dec))
+                if k == 0 else Var(pnames[k])
+                for k in range(arity)
+            )
+            body = If(
+                Binary("<=", Var(pnames[0]), IntLit(0)),
+                Return(),
+                seq(CallStmt(name, rec_args), Return()),
+            )
+            self.methods.append(Method(VOID, name, params, body))
+            self.term_helpers.append((name, arity, False))
+            return
+        scope = list(pnames)
+        stmts = self.term_block(
+            scope, frozenset(pnames), rng.randint(1, 2), 1
+        )
+        returns_int = rng.random() < 0.5
+        if returns_int:
+            stmts.append(Return(self.linexpr(scope, nondet_ok=False)))
+            self.methods.append(Method(INT, name, params, seq(*stmts)))
+        else:
+            self.methods.append(
+                Method(VOID, name, params, seq(*stmts) if stmts else Skip())
+            )
+        self.term_helpers.append((name, arity, returns_int))
+
+    def emit_divergent_helper(self) -> None:
+        """A helper method that diverges for every argument vector."""
+        rng = self.rng
+        name = self.fresh_name("g")
+        arity = rng.randint(1, 2)
+        params = [Param(INT, f"a{k}") for k in range(arity)]
+        if rng.random() < 0.4:
+            # unconditional recursion: g(x, ...) = g(x + 1, ...)
+            rec_args: Tuple[Expr, ...] = tuple(
+                Binary("+", Var(params[0].name), IntLit(1))
+                if k == 0 else Var(params[k].name)
+                for k in range(arity)
+            )
+            body: Stmt = seq(CallStmt(name, rec_args), Return())
+        else:
+            scope = [p.name for p in params]
+            body = seq(*self.divergent_fragment(scope, frozenset(scope)))
+        self.methods.append(Method(VOID, name, params, body))
+        self.div_helpers.append((name, arity))
+
+
+def generate_program(
+    seed: str, index: int
+) -> Tuple[Program, str, Label, Tuple[int, ...]]:
+    """Build instance *index* of the corpus seeded by *seed*.
+
+    Returns ``(program, entry, label, witness)``; *witness* is an entry
+    argument vector that provably reaches a divergent fragment (NONTERM)
+    or an arbitrary sample (TERM -- any vector halts).
+    """
+    rng = random.Random(f"repro-corpus:{seed}:{index}")
+    gen = _Gen(rng)
+    label = Label.NONTERM if rng.random() < 0.5 else Label.TERM
+    for _ in range(rng.randint(0, 2)):
+        gen.emit_term_helper()
+    if label is Label.NONTERM and rng.random() < 0.5:
+        gen.emit_divergent_helper()
+
+    arity = rng.randint(1, 3)
+    params = [Param(INT, f"p{k}") for k in range(arity)]
+    pnames = [p.name for p in params]
+    protected = frozenset(pnames)  # entry params are never assigned
+    scope = list(pnames)
+    stmts = gen.term_block(scope, protected, rng.randint(1, 3), 0)
+    witness = tuple([0] * arity)
+    if label is Label.NONTERM:
+        divergence = gen.divergent_fragment(scope, protected)
+        placement = rng.choice(["unconditional", "guarded"])
+        if placement == "guarded":
+            k = rng.randrange(arity)
+            witness = tuple(1 if j == k else 0 for j in range(arity))
+            else_scope = list(scope)
+            stmts.append(
+                If(
+                    Binary(">", Var(pnames[k]), IntLit(0)),
+                    seq(*divergence),
+                    seq(*gen.term_block(else_scope, protected, 1, 1)),
+                )
+            )
+        else:
+            stmts.extend(divergence)
+            # anything after an unconditional divergence is unreachable;
+            # occasionally add TERM code there to stress dead-code paths
+            if rng.random() < 0.3:
+                stmts.extend(gen.term_block(scope, protected, 1, 0))
+    entry = "main"
+    gen.methods.append(Method(VOID, entry, params, seq(*stmts)))
+    program = Program(data_decls={}, methods={m.name: m for m in gen.methods})
+    return program, entry, label, witness
+
+
+def generate_instance(seed: str, index: int) -> CorpusInstance:
+    """Instance *index* of the seeded corpus, as a
+    :class:`~repro.corpus.benchmark.CorpusInstance` whose source is the
+    pretty-printed AST (round-trips through the native parser)."""
+    program, entry, label, witness = generate_program(seed, index)
+    return CorpusInstance(
+        id=f"gen-{seed}-{index:04d}",
+        source=pretty_program(program) + "\n",
+        language="native",
+        entry=entry,
+        label=label,
+        origin=f"generate(seed={seed!r}, index={index})",
+        witness=witness,
+    )
+
+
+class GeneratedBenchmark(Benchmark):
+    """*n* seeded known-verdict programs as a labeled corpus."""
+
+    def __init__(self, n: int, seed: str = "demo"):
+        super().__init__(f"generated(n={n}, seed={seed!r})")
+        self.seed = seed
+        self.n = n
+        self._instances = [generate_instance(seed, i) for i in range(n)]

@@ -1,0 +1,159 @@
+"""Precision/recall scoring of tool verdicts against ground-truth labels.
+
+The scoring contract (the shape of DEFAME's ``compute_score.py``, adapted
+to a soundness-critical domain):
+
+* Verdicts collapse onto the label axis (Y -> TERM, N -> NONTERM,
+  U/timeout -> UNKNOWN) and fill a labels-by-predictions confusion
+  matrix.
+* Per definite class (TERM, NONTERM): **precision** is computed over
+  instances with a *definite* ground truth (an UNKNOWN-labeled instance
+  can never count against a definite answer -- the corpus simply does
+  not know), **recall** over the instances carrying that label.
+* A **soundness violation** -- the tool commits to TERM on a
+  NONTERM-labeled instance or vice versa -- is a hard failure, listed
+  instance by instance and fatal to :attr:`ScoreReport.ok`; an imprecise
+  (UNKNOWN) answer only costs recall.
+
+Reports render without wall-clock columns so a seeded rerun of the same
+corpus is byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import Verdict
+from repro.corpus.benchmark import (
+    CorpusInstance,
+    Label,
+    verdict_to_label,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One unsound answer: a definite verdict contradicting a definite
+    ground-truth label."""
+
+    instance_id: str
+    label: Label
+    predicted: Label
+    origin: str = ""
+
+    def render(self) -> str:
+        where = f"  ({self.origin})" if self.origin else ""
+        return (
+            f"SOUNDNESS VIOLATION: {self.instance_id}: tool says "
+            f"{self.predicted} but ground truth is {self.label}{where}"
+        )
+
+
+@dataclass
+class ClassScore:
+    """Counts and derived metrics for one ground-truth class."""
+
+    label: Label
+    n: int = 0            # instances carrying this label
+    predicted: int = 0    # definite-label instances predicted as this class
+    tp: int = 0           # label == predicted == this class
+
+    @property
+    def precision(self) -> Optional[float]:
+        return self.tp / self.predicted if self.predicted else None
+
+    @property
+    def recall(self) -> Optional[float]:
+        return self.tp / self.n if self.n else None
+
+
+def _metric(value: Optional[float]) -> str:
+    return f"{value:5.2f}" if value is not None else "   --"
+
+
+@dataclass
+class ScoreReport:
+    """Confusion matrix, per-class precision/recall and soundness audit
+    for one benchmark sweep."""
+
+    benchmark: str
+    total: int
+    confusion: Dict[Tuple[Label, Label], int]
+    per_class: Dict[Label, ClassScore]
+    violations: List[Violation]
+    timeouts: int = 0
+    rows: List[Tuple[CorpusInstance, Label]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"corpus {self.benchmark}: {self.total} instances",
+            f"{'label':<9}{'n':>5}{'->TERM':>8}{'->NONTERM':>11}"
+            f"{'->UNKNOWN':>11}{'prec':>7}{'rec':>6}",
+        ]
+        lines.append("-" * len(lines[-1]))
+        for label in Label:
+            cls = self.per_class.get(label)
+            if cls is None or cls.n == 0:
+                continue
+            row = f"{label.value:<9}{cls.n:>5}"
+            for predicted in Label:
+                row += f"{self.confusion.get((label, predicted), 0):>{8 if predicted is Label.TERM else 11}}"
+            if label is Label.UNKNOWN:
+                row += f"{'--':>7}{'--':>6}"
+            else:
+                row += f"{_metric(cls.precision):>7}{_metric(cls.recall):>6}"
+            lines.append(row)
+        if self.timeouts:
+            lines.append(f"timeouts: {self.timeouts} (scored as UNKNOWN)")
+        for violation in self.violations:
+            lines.append(violation.render())
+        lines.append(f"soundness violations: {len(self.violations)}")
+        return "\n".join(lines)
+
+
+def score(
+    benchmark: str,
+    instances: Sequence[CorpusInstance],
+    verdicts: Sequence[Optional[Verdict]],
+) -> ScoreReport:
+    """Score one verdict per instance (``None`` = timeout) against the
+    instances' ground-truth labels."""
+    if len(instances) != len(verdicts):
+        raise ValueError(
+            f"{len(instances)} instances but {len(verdicts)} verdicts"
+        )
+    confusion: Dict[Tuple[Label, Label], int] = {}
+    per_class = {label: ClassScore(label) for label in Label}
+    violations: List[Violation] = []
+    rows: List[Tuple[CorpusInstance, Label]] = []
+    timeouts = 0
+    for inst, verdict in zip(instances, verdicts):
+        predicted = verdict_to_label(verdict)
+        timeouts += verdict is None
+        rows.append((inst, predicted))
+        confusion[(inst.label, predicted)] = (
+            confusion.get((inst.label, predicted), 0) + 1
+        )
+        per_class[inst.label].n += 1
+        if inst.label is not Label.UNKNOWN and predicted is not Label.UNKNOWN:
+            per_class[predicted].predicted += 1
+            if predicted is inst.label:
+                per_class[predicted].tp += 1
+            else:
+                violations.append(
+                    Violation(inst.id, inst.label, predicted, inst.origin)
+                )
+    return ScoreReport(
+        benchmark=benchmark,
+        total=len(rows),
+        confusion=confusion,
+        per_class=per_class,
+        violations=violations,
+        timeouts=timeouts,
+        rows=rows,
+    )

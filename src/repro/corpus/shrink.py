@@ -1,0 +1,155 @@
+"""Greedy structural shrinking of counterexample programs.
+
+When the fuzz harness finds a disagreement (an oracle observation or a
+tool verdict contradicting a constructed label), the offending program is
+minimized before it is reported: :func:`shrink_program` repeatedly tries
+structure-removing edits -- dropping whole methods, deleting sequence
+elements, replacing loops and branches by their sub-statements,
+simplifying initializers -- and keeps any edit under which the caller's
+*predicate* (``"the disagreement still reproduces"``) stays true.  A
+ddmin-flavoured greedy fixpoint, not a full delta debugger: candidate
+order favours the largest deletions first, and every accepted edit
+restarts the scan, so the result is 1-minimal with respect to the edit
+set.
+
+Predicates run on *candidate programs that may be ill-formed* (deleting a
+declaration can orphan its uses); predicates must treat any exception as
+"does not reproduce" -- :func:`pred_guard` wraps that convention.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Tuple
+
+from repro.lang.ast import (
+    If,
+    IntLit,
+    Method,
+    Program,
+    Seq,
+    Skip,
+    Stmt,
+    VarDecl,
+    While,
+    seq,
+)
+
+#: Upper bound on predicate evaluations per shrink (a predicate runs the
+#: interpreter or the analyzer, so each call is expensive).
+MAX_PREDICATE_CALLS = 400
+
+
+def pred_guard(predicate: Callable[[Program], bool]) -> Callable[[Program], bool]:
+    """*predicate* with every exception read as "does not reproduce"
+    (shrinking edits may produce ill-formed programs; those are simply
+    uninteresting, never fatal)."""
+
+    def guarded(program: Program) -> bool:
+        try:
+            return bool(predicate(program))
+        except Exception:
+            return False
+
+    return guarded
+
+
+def _stmt_variants(stmt: Stmt) -> Iterator[Stmt]:
+    """Strictly smaller replacements for *stmt*, boldest first."""
+    if isinstance(stmt, Seq):
+        n = len(stmt.stmts)
+        for i in range(n):  # drop one element
+            yield seq(*(s for j, s in enumerate(stmt.stmts) if j != i))
+        for i in range(n):  # shrink one element in place
+            for variant in _stmt_variants(stmt.stmts[i]):
+                yield seq(
+                    *(variant if j == i else s
+                      for j, s in enumerate(stmt.stmts))
+                )
+    elif isinstance(stmt, While):
+        yield Skip()
+        yield stmt.body  # run the body once, unguarded
+        for variant in _stmt_variants(stmt.body):
+            yield While(stmt.cond, variant)
+    elif isinstance(stmt, If):
+        yield Skip()
+        yield stmt.then
+        yield stmt.els
+        for variant in _stmt_variants(stmt.then):
+            yield If(stmt.cond, variant, stmt.els)
+        for variant in _stmt_variants(stmt.els):
+            yield If(stmt.cond, stmt.then, variant)
+    elif isinstance(stmt, VarDecl):
+        if stmt.init is not None and stmt.init != IntLit(0):
+            yield VarDecl(stmt.type, stmt.name, IntLit(0))
+
+
+def _program_variants(program: Program, entry: str) -> Iterator[Program]:
+    """Strictly smaller candidate programs, boldest first: whole-method
+    drops, then per-method body edits."""
+    for name in program.methods:
+        if name != entry:
+            yield Program(
+                data_decls=dict(program.data_decls),
+                methods={
+                    n: m for n, m in program.methods.items() if n != name
+                },
+            )
+    for name, method in program.methods.items():
+        if method.body is None:
+            continue
+        for body in _stmt_variants(method.body):
+            replacement = Method(
+                method.ret_type, name, list(method.params), body,
+                requires=method.requires, ensures=method.ensures,
+                heap_specs=list(method.heap_specs),
+                is_primitive=method.is_primitive,
+                source_loop=method.source_loop,
+            )
+            yield Program(
+                data_decls=dict(program.data_decls),
+                methods={
+                    n: (replacement if n == name else m)
+                    for n, m in program.methods.items()
+                },
+            )
+
+
+def program_size(program: Program) -> int:
+    """A crude node count (pretty-printed length) used only to confirm
+    shrinking made progress."""
+    return sum(
+        len(str(m.body)) for m in program.methods.values()
+        if m.body is not None
+    )
+
+
+def shrink_program(
+    program: Program,
+    entry: str,
+    predicate: Callable[[Program], bool],
+    max_calls: int = MAX_PREDICATE_CALLS,
+) -> Tuple[Program, int]:
+    """Greedily minimize *program* while ``predicate(candidate)`` holds.
+
+    The predicate is wrapped by :func:`pred_guard` (exceptions read as
+    non-reproducing).  Returns ``(minimized, predicate_calls)``; the
+    original program is returned unchanged if the predicate does not even
+    hold on it (nothing to preserve).
+    """
+    check = pred_guard(predicate)
+    calls = 1
+    if not check(program):
+        return program, calls
+    current = program
+    progress = True
+    while progress and calls < max_calls:
+        progress = False
+        for candidate in _program_variants(current, entry):
+            if calls >= max_calls:
+                break
+            calls += 1
+            if check(candidate):
+                current = candidate
+                progress = True
+                break  # restart the scan from the smaller program
+    return current, calls

@@ -13,7 +13,9 @@ tests) or a seeded RNG.
 
 from __future__ import annotations
 
+import enum
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -50,6 +52,22 @@ Value = Union[int, bool]
 
 class OutOfFuel(Exception):
     """The execution exceeded its step budget (possible non-termination)."""
+
+
+class Outcome(enum.Enum):
+    """Classification of one bounded concrete run (see :func:`observe`).
+
+    ``HALTED`` is evidence of termination *for the given inputs*;
+    ``FUEL_OUT`` is **not** evidence of divergence -- the budget (step
+    fuel or wall clock) simply ran out, so the honest reading is
+    "unknown"; ``PRUNED`` means an ``assume`` rejected the inputs (no
+    evidence either way).  The corpus harness (:mod:`repro.corpus`)
+    maps these onto its ground-truth labels accordingly.
+    """
+
+    HALTED = "halted"
+    FUEL_OUT = "fuel-out"
+    PRUNED = "pruned"
 
 
 class AssumeViolated(Exception):
@@ -99,11 +117,22 @@ class Interpreter:
         fuel: int = 100_000,
         nondet: Optional[Iterator[int]] = None,
         seed: int = 0,
+        wall_clock: Optional[float] = None,
     ):
         self.program = program
         self.fuel = fuel
         self._rng = random.Random(seed)
         self._nondet = nondet
+        # Belt to the fuel braces: fuel bounds the *number* of steps, but
+        # a single step can be arbitrarily slow (integers grow without
+        # bound, so one addition on million-digit values dwarfs the rest
+        # of the run).  An optional wall-clock budget turns such runs
+        # into OutOfFuel instead of stalling the caller -- the fuzz
+        # harness relies on this to classify a stuck run as UNKNOWN
+        # rather than hanging the suite.
+        self._deadline = (
+            None if wall_clock is None else time.monotonic() + wall_clock
+        )
 
     def _draw(self) -> int:
         if self._nondet is not None:
@@ -116,6 +145,13 @@ class Interpreter:
     def _tick(self) -> None:
         self.fuel -= 1
         if self.fuel <= 0:
+            raise OutOfFuel()
+        # Checked on *every* tick: step cost can double per iteration
+        # (squaring loops), so any fixed check stride would let the value
+        # blow past memory between two checks.  The clock read only costs
+        # anything when a deadline was requested, and overshoot is then
+        # bounded by the single step in flight.
+        if self._deadline is not None and time.monotonic() > self._deadline:
             raise OutOfFuel()
 
     # -- public API ---------------------------------------------------------
@@ -302,6 +338,37 @@ class Interpreter:
         return v
 
 
+def observe(
+    program: Program,
+    name: str,
+    args: List[Value],
+    fuel: int = 100_000,
+    nondet: Optional[Iterator[int]] = None,
+    seed: int = 0,
+    wall_clock: Optional[float] = None,
+) -> Outcome:
+    """Run a method under an explicit budget and classify the outcome.
+
+    The budget is two-sided: *fuel* bounds the step count and
+    *wall_clock* (seconds, optional) bounds real time -- the latter
+    matters when values grow so large that individual steps get slow.
+    Exhausting either yields :attr:`Outcome.FUEL_OUT`, which callers
+    must read as "unknown", never as proof of divergence; the fuzz
+    harness maps it to its ``UNKNOWN`` label so a generated divergent
+    program can burn at most one budget instead of stalling the suite.
+    """
+    interp = Interpreter(
+        program, fuel=fuel, nondet=nondet, seed=seed, wall_clock=wall_clock
+    )
+    try:
+        interp.run(name, args)
+        return Outcome.HALTED
+    except OutOfFuel:
+        return Outcome.FUEL_OUT
+    except AssumeViolated:
+        return Outcome.PRUNED
+
+
 def terminates(
     program: Program,
     name: str,
@@ -313,13 +380,12 @@ def terminates(
 
     Returns ``True`` when the run halts within fuel, ``False`` when fuel is
     exhausted (evidence of divergence for the given inputs), and ``None``
-    when an ``assume`` pruned the run (no evidence either way).
+    when an ``assume`` pruned the run (no evidence either way).  This is
+    the historical two-valued-plus-pruned face of :func:`observe`; new
+    callers that need an explicit "budget ran out, no evidence" reading
+    (or a wall-clock bound) should use :func:`observe` directly.
     """
-    interp = Interpreter(program, fuel=fuel, nondet=nondet)
-    try:
-        interp.run(name, args)
-        return True
-    except OutOfFuel:
-        return False
-    except AssumeViolated:
+    outcome = observe(program, name, args, fuel=fuel, nondet=nondet)
+    if outcome is Outcome.PRUNED:
         return None
+    return outcome is Outcome.HALTED

@@ -113,3 +113,74 @@ class TestCLI:
         proc = bench_cli("fig10", "--language", "st")
         assert proc.returncode == 2
         assert "--language" in proc.stderr
+
+
+NATIVE_TERM = """\
+void main(int n)
+{
+  int i = 0;
+  while ((i < 4)) {
+    i = (i + 1);
+  }
+}
+"""
+
+
+class TestAnalyzeNativeAndMixed:
+    """``analyze`` beyond ST files: native inputs and mixed invocations."""
+
+    def test_analyze_native_file(self, tmp_path):
+        prog = tmp_path / "count.imp"
+        prog.write_text(NATIVE_TERM)
+        proc = bench_cli("analyze", str(prog))
+        assert proc.returncode == 0, proc.stderr
+        assert "[native]" in proc.stdout
+        assert "main: Y" in proc.stdout
+
+    def test_analyze_mixed_languages_in_one_invocation(self, tmp_path):
+        prog = tmp_path / "count.imp"
+        prog.write_text(NATIVE_TERM)
+        proc = bench_cli(
+            "analyze", str(ST_DIR / "ramp_up.st"), str(prog)
+        )
+        assert proc.returncode == 0, proc.stderr
+        # one block per file, each through its sniffed frontend
+        assert "[st]" in proc.stdout and "[native]" in proc.stdout
+        assert "RampUp: Y" in proc.stdout
+        assert "main: Y" in proc.stdout
+
+    def test_analyze_mixed_keeps_good_file_on_bad_file(self, tmp_path):
+        good = tmp_path / "count.imp"
+        good.write_text(NATIVE_TERM)
+        bad = tmp_path / "bad.imp"
+        bad.write_text("void main( {\n")
+        proc = bench_cli("analyze", str(good), str(bad))
+        assert proc.returncode == 2
+        assert "main: Y" in proc.stdout  # the good file still reports
+        assert "bad.imp" in proc.stderr  # with a rendered diagnostic
+
+    def test_analyze_native_parse_failure_renders_position(self, tmp_path):
+        bad = tmp_path / "bad.imp"
+        bad.write_text("void main() {\n  int x = ;\n}\n")
+        proc = bench_cli("analyze", str(bad))
+        assert proc.returncode == 2
+        assert "line 2" in proc.stderr
+
+    def test_analyze_language_flag_forces_frontend(self, tmp_path):
+        # an .imp file forced through the ST frontend must fail to parse,
+        # proving --language overrides extension sniffing
+        prog = tmp_path / "count.imp"
+        prog.write_text(NATIVE_TERM)
+        proc = bench_cli("analyze", "--language", "st", str(prog))
+        assert proc.returncode == 2
+        assert "[st]" in proc.stderr
+
+    def test_analyze_unknown_extension(self, tmp_path):
+        prog = tmp_path / "count.xyz"
+        prog.write_text(NATIVE_TERM)
+        proc = bench_cli("analyze", str(prog))
+        assert proc.returncode == 2
+        # forcing the frontend rescues the same file
+        proc = bench_cli("analyze", "--language", "native", str(prog))
+        assert proc.returncode == 0, proc.stderr
+        assert "main: Y" in proc.stdout

@@ -1,0 +1,214 @@
+"""The labeled-benchmark abstraction: labels, loaders, manifests."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.pipeline import Verdict
+from repro.corpus.benchmark import (
+    DirectoryBenchmark,
+    Label,
+    MANIFEST_NAME,
+    ManifestError,
+    RegistryBenchmark,
+    builtin_benchmarks,
+    label_to_verdict,
+    load_benchmark,
+    parse_label,
+    verdict_to_label,
+)
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+ST_DIR = REPO / "examples" / "st_controllers"
+
+
+# -- labels ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "spelling,label",
+    [
+        ("TERM", Label.TERM),
+        ("terminating", Label.TERM),
+        ("y", Label.TERM),
+        ("true", Label.TERM),
+        ("NONTERM", Label.NONTERM),
+        ("N", Label.NONTERM),
+        ("false", Label.NONTERM),
+        ("maybe", Label.UNKNOWN),
+        (" U ", Label.UNKNOWN),
+    ],
+)
+def test_parse_label_aliases(spelling, label):
+    assert parse_label(spelling) is label
+
+
+def test_parse_label_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown ground-truth label"):
+        parse_label("SOMETIMES")
+
+
+def test_verdict_label_round_trip():
+    for label in Label:
+        assert verdict_to_label(label_to_verdict(label)) is label
+    assert verdict_to_label(None) is Label.UNKNOWN  # timeout
+    assert verdict_to_label(Verdict.UNKNOWN) is Label.UNKNOWN
+
+
+# -- registry loader ---------------------------------------------------------
+
+
+def test_registry_benchmark_mirrors_ground_truth():
+    bench = RegistryBenchmark()
+    assert len(bench) > 30  # fig10 + fig11 + ST programs
+    for inst in bench:
+        assert inst.label is verdict_to_label(inst.to_bench().expected)
+        assert inst.id
+        assert inst.origin.startswith("registry:")
+    # heap programs keep their builder-backed BenchProgram
+    assert any(inst.bench is not None for inst in bench)
+
+
+def test_registry_benchmark_category_filter():
+    crafted = RegistryBenchmark(categories=["crafted"], name="crafted-only")
+    full = RegistryBenchmark()
+    assert 0 < len(crafted) < len(full)
+    assert {i.origin for i in crafted} == {"registry:crafted"}
+
+
+def test_get_by_id_and_classes():
+    bench = RegistryBenchmark()
+    first = bench.instances()[0]
+    assert bench.get_by_id(first.id) == first
+    with pytest.raises(KeyError):
+        bench.get_by_id("no-such-instance")
+    assert Label.TERM in bench.classes()
+    assert len(bench.labels()) == len(bench)
+
+
+def test_map_class_rejects_unmapped():
+    bench = RegistryBenchmark()
+    with pytest.raises(ValueError, match="unmapped class"):
+        bench.map_class("SOMETIMES")
+
+
+# -- directory loader --------------------------------------------------------
+
+
+def test_st_controllers_manifest_loads():
+    bench = DirectoryBenchmark(ST_DIR)
+    assert bench.name == "st-controllers"
+    assert len(bench) == 5
+    by_id = {inst.id: inst for inst in bench}
+    assert by_id["ramp_up"].label is Label.TERM
+    assert by_id["ramp_up"].entry == "RampUp"
+    assert by_id["watchdog_stuck"].label is Label.NONTERM
+    assert all(inst.language == "st" for inst in bench)
+    # sources parse through the declared frontend
+    program = by_id["ramp_up"].program()
+    assert "RampUp" in program.methods
+
+
+def test_directory_language_override():
+    bench = DirectoryBenchmark(ST_DIR, language="native")
+    assert all(inst.language == "native" for inst in bench)
+
+
+def _write_manifest(tmp_path, manifest, files=("p.imp",)):
+    for fname in files:
+        (tmp_path / fname).write_text("void main() { }\n")
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps(manifest))
+    return tmp_path
+
+
+def test_directory_manifest_happy_path(tmp_path):
+    _write_manifest(
+        tmp_path,
+        {
+            "benchmark": "tiny",
+            "language": "native",
+            "class_mapping": {"halts": "TERM", "loops": "NONTERM"},
+            "instances": [
+                {"file": "p.imp", "entry": "main", "label": "halts"},
+            ],
+        },
+    )
+    bench = DirectoryBenchmark(tmp_path)
+    assert bench.name == "tiny"
+    inst = bench.instances()[0]
+    assert inst.id == "p"
+    assert inst.label is Label.TERM  # via the custom class mapping
+    assert inst.program().method("main") is not None
+
+
+def test_directory_manifest_witness(tmp_path):
+    _write_manifest(
+        tmp_path,
+        {
+            "instances": [
+                {"file": "p.imp", "entry": "main", "label": "N",
+                 "witness": [3, 0]},
+            ],
+        },
+    )
+    inst = DirectoryBenchmark(tmp_path).instances()[0]
+    assert inst.witness == (3, 0)
+
+
+@pytest.mark.parametrize(
+    "manifest,match",
+    [
+        ({"instances": [{"file": "p.imp", "entry": "m", "label": "WAT"}]},
+         "unmapped class"),
+        ({"instances": [{"file": "missing.imp", "entry": "m", "label": "Y"}]},
+         "no such file"),
+        ({"instances": [{"entry": "m", "label": "Y"}]}, "needs file"),
+        ({"no_instances": []}, "no 'instances'"),
+        ({"class_mapping": {"x": "SOMETIMES"}, "instances": []},
+         "bad class_mapping"),
+    ],
+)
+def test_directory_manifest_errors(tmp_path, manifest, match):
+    _write_manifest(tmp_path, manifest)
+    with pytest.raises(ManifestError, match=match):
+        DirectoryBenchmark(tmp_path)
+
+
+def test_directory_manifest_duplicate_ids(tmp_path):
+    (tmp_path / "p.imp").write_text("void main() { }\n")
+    (tmp_path / MANIFEST_NAME).write_text(json.dumps({
+        "instances": [
+            {"file": "p.imp", "entry": "main", "label": "Y"},
+            {"file": "p.imp", "entry": "main", "label": "N"},
+        ],
+    }))
+    with pytest.raises(ManifestError, match="duplicate instance id"):
+        DirectoryBenchmark(tmp_path)
+
+
+def test_directory_without_manifest(tmp_path):
+    with pytest.raises(ManifestError, match=MANIFEST_NAME):
+        DirectoryBenchmark(tmp_path)
+
+
+def test_directory_invalid_json(tmp_path):
+    (tmp_path / MANIFEST_NAME).write_text("{not json")
+    with pytest.raises(ManifestError, match="invalid JSON"):
+        DirectoryBenchmark(tmp_path)
+
+
+# -- builtins / specs --------------------------------------------------------
+
+
+def test_builtin_benchmarks_include_st_corpus():
+    names = [b.name for b in builtin_benchmarks()]
+    assert names[0] == "fig-programs"
+    assert "st-controllers" in names
+
+
+def test_load_benchmark_by_name_and_path():
+    assert load_benchmark("fig-programs").name == "fig-programs"
+    assert load_benchmark(str(ST_DIR)).name == "st-controllers"
+    with pytest.raises(ManifestError):
+        load_benchmark("no-such-benchmark")

@@ -1,0 +1,142 @@
+"""The corpus harness: cross-check, sweep, flip self-test, warm store."""
+
+import dataclasses
+
+import pytest
+
+from repro.corpus.benchmark import CorpusInstance, Label
+from repro.corpus.generate import GeneratedBenchmark, generate_instance
+from repro.corpus.run import (
+    crosscheck_instance,
+    inject_flip,
+    run_corpus,
+    wants_crosscheck,
+)
+
+TERM_SRC = """\
+void main(int p)
+{
+  int i = 0;
+  while ((i < 4)) {
+    i = (i + 1);
+  }
+}
+"""
+
+DIV_SRC = """\
+void main(int p)
+{
+  int d = 1;
+  while ((d > 0)) {
+    d = (d + 1);
+  }
+}
+"""
+
+
+def _inst(source, label, witness=(0,), id="hand"):
+    return CorpusInstance(
+        id=id, source=source, language="native", entry="main",
+        label=label, witness=witness,
+    )
+
+
+# -- oracle cross-check ------------------------------------------------------
+
+
+def test_crosscheck_accepts_correct_labels():
+    assert crosscheck_instance(_inst(TERM_SRC, Label.TERM)) is None
+    assert crosscheck_instance(_inst(DIV_SRC, Label.NONTERM)) is None
+    # UNKNOWN labels are never falsifiable
+    assert crosscheck_instance(_inst(DIV_SRC, Label.UNKNOWN)) is None
+
+
+def test_crosscheck_catches_bogus_nonterm_label():
+    found = crosscheck_instance(_inst(TERM_SRC, Label.NONTERM))
+    assert found is not None
+    assert found.kind == "oracle"
+    assert "HALTED" in found.detail
+    assert "minimized reproducer" in found.render()
+
+
+def test_crosscheck_catches_bogus_term_label():
+    found = crosscheck_instance(_inst(DIV_SRC, Label.TERM))
+    assert found is not None
+    assert found.kind == "oracle"
+    assert "still running" in found.detail
+    # the minimized reproducer keeps the divergent core
+    assert "while" in found.minimized
+
+
+def test_crosscheck_reports_unparseable_source():
+    found = crosscheck_instance(_inst("void main( {", Label.TERM))
+    assert found is not None
+    assert "does not parse" in found.detail
+
+
+def test_wants_crosscheck_auto_mode():
+    assert wants_crosscheck(generate_instance("auto", 0))
+    assert wants_crosscheck(_inst(DIV_SRC, Label.NONTERM))  # has witness
+    no_witness = dataclasses.replace(_inst(TERM_SRC, Label.TERM), witness=None)
+    assert not wants_crosscheck(no_witness)
+
+
+# -- the full harness --------------------------------------------------------
+
+
+def test_run_corpus_clean_generated_sweep():
+    bench = GeneratedBenchmark(4, seed="harness")
+    result = run_corpus(bench, timeout=30.0, time_budget=5.0)
+    assert result.ok
+    assert len(result.outcomes) == len(bench)
+    assert result.report.total == len(bench)
+    rendered = result.render()
+    assert "result: OK" in rendered
+    assert "prec" in rendered
+    # deterministic: the same sweep renders byte-identically
+    again = run_corpus(bench, timeout=30.0, time_budget=5.0)
+    assert again.render() == rendered
+
+
+def test_run_corpus_injected_flip_is_caught_and_minimized():
+    bench = GeneratedBenchmark(2, seed="harness")
+    victim = bench.instances()[0].id
+    result = run_corpus(
+        bench, timeout=30.0, time_budget=5.0, flip=victim
+    )
+    assert not result.ok
+    kinds = {d.kind for d in result.disagreements}
+    assert kinds, "flip must surface as at least one disagreement"
+    assert any(d.minimized for d in result.disagreements)
+    rendered = result.render()
+    assert "result: FAILURES" in rendered
+    assert "[label flipped]" in rendered
+
+
+def test_inject_flip_unknown_id():
+    bench = GeneratedBenchmark(1, seed="harness")
+    with pytest.raises(KeyError, match="no-such-id"):
+        inject_flip(bench.instances(), "no-such-id")
+
+
+def test_run_corpus_warm_store_is_fingerprint_identical(tmp_path):
+    """Second run against a populated spec store replays cached SCC
+    summaries (store hits, no misses) and scores identically."""
+    bench = GeneratedBenchmark(3, seed="warm")
+    store = str(tmp_path / "specs")
+    cold = run_corpus(
+        bench, timeout=30.0, time_budget=5.0, store=store, crosscheck=False
+    )
+    warm = run_corpus(
+        bench, timeout=30.0, time_budget=5.0, store=store, crosscheck=False
+    )
+    assert cold.ok and warm.ok
+    assert warm.render() == cold.render()
+    warm_hits = sum(
+        (o.solver_stats or {}).get("store_hits", 0) for o in warm.outcomes
+    )
+    warm_misses = sum(
+        (o.solver_stats or {}).get("store_misses", 0) for o in warm.outcomes
+    )
+    assert warm_hits > 0
+    assert warm_misses == 0

@@ -1,0 +1,86 @@
+"""The scoring layer: confusion, precision/recall, soundness audit."""
+
+import pytest
+
+from repro.core.pipeline import Verdict
+from repro.corpus.benchmark import CorpusInstance, Label
+from repro.corpus.score import score
+
+
+def _inst(i, label):
+    return CorpusInstance(
+        id=f"i{i}", source="", language="native", entry="main", label=label
+    )
+
+
+def test_perfect_sweep():
+    instances = [_inst(0, Label.TERM), _inst(1, Label.NONTERM)]
+    report = score("t", instances,
+                   [Verdict.TERMINATING, Verdict.NONTERMINATING])
+    assert report.ok
+    assert report.total == 2
+    assert report.per_class[Label.TERM].precision == 1.0
+    assert report.per_class[Label.TERM].recall == 1.0
+    assert report.per_class[Label.NONTERM].recall == 1.0
+    assert report.confusion[(Label.TERM, Label.TERM)] == 1
+
+
+def test_unknown_costs_recall_not_soundness():
+    instances = [_inst(0, Label.TERM), _inst(1, Label.TERM)]
+    report = score("t", instances, [Verdict.TERMINATING, Verdict.UNKNOWN])
+    assert report.ok  # imprecision is not unsoundness
+    assert report.per_class[Label.TERM].recall == 0.5
+    assert report.per_class[Label.TERM].precision == 1.0
+
+
+@pytest.mark.parametrize(
+    "label,verdict",
+    [
+        (Label.NONTERM, Verdict.TERMINATING),
+        (Label.TERM, Verdict.NONTERMINATING),
+    ],
+)
+def test_definite_contradiction_is_a_violation(label, verdict):
+    report = score("t", [_inst(0, label)], [verdict])
+    assert not report.ok
+    assert len(report.violations) == 1
+    violation = report.violations[0]
+    assert violation.instance_id == "i0"
+    assert violation.label is label
+    assert "SOUNDNESS VIOLATION" in violation.render()
+    assert "SOUNDNESS VIOLATION" in report.render()
+
+
+def test_unknown_label_imposes_no_constraint():
+    """A definite answer on an UNKNOWN-labeled instance is neither a
+    violation nor a precision hit -- the corpus has no opinion."""
+    instances = [_inst(0, Label.UNKNOWN), _inst(1, Label.TERM)]
+    report = score("t", instances,
+                   [Verdict.TERMINATING, Verdict.TERMINATING])
+    assert report.ok
+    assert report.per_class[Label.TERM].precision == 1.0
+    assert report.confusion[(Label.UNKNOWN, Label.TERM)] == 1
+
+
+def test_timeouts_score_as_unknown():
+    report = score("t", [_inst(0, Label.NONTERM)], [None])
+    assert report.ok
+    assert report.timeouts == 1
+    assert report.confusion[(Label.NONTERM, Label.UNKNOWN)] == 1
+    assert "timeouts: 1" in report.render()
+
+
+def test_render_is_timing_free_and_deterministic():
+    instances = [_inst(i, Label.TERM) for i in range(3)]
+    verdicts = [Verdict.TERMINATING, Verdict.UNKNOWN, Verdict.TERMINATING]
+    a = score("t", instances, verdicts).render()
+    b = score("t", instances, verdicts).render()
+    assert a == b
+    assert "sec" not in a and "time" not in a
+    assert "prec" in a and "rec" in a
+    assert a.endswith("soundness violations: 0")
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="1 instances but 2 verdicts"):
+        score("t", [_inst(0, Label.TERM)], [None, None])

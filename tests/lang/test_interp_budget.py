@@ -1,0 +1,84 @@
+"""The interpreter oracle's explicit budgets (fuel + wall clock).
+
+Regression for the fuzz-suite requirement: a generated divergent program
+must cost the oracle at most one budget and read as "unknown" -- never
+hang the suite, never prove divergence.
+"""
+
+import time
+
+from repro.lang.interp import Outcome, observe, terminates
+from repro.lang.parser import parse_program
+
+DIVERGENT = parse_program("""
+void main(int p)
+{
+  int d = 1;
+  while ((d > 0)) {
+    d = (d + 1);
+  }
+}
+""")
+
+#: Values double every iteration: step *count* stays tiny while step
+#: *cost* explodes -- the case only the wall clock can bound.
+BIG_STEPS = parse_program("""
+void main()
+{
+  int x = 2;
+  int i = 0;
+  while ((i < 100000)) {
+    x = (x * x);
+    i = (i + 1);
+  }
+}
+""")
+
+HALTING = parse_program("""
+void main(int p)
+{
+  int i = 0;
+  while ((i < 3)) {
+    i = (i + 1);
+  }
+}
+""")
+
+PRUNING = parse_program("""
+void main(int p)
+{
+  assume((p > 0));
+}
+""")
+
+
+def test_fuel_out_is_unknown_not_divergence():
+    assert observe(DIVERGENT, "main", [0], fuel=2_000) is Outcome.FUEL_OUT
+    # the historical two-valued face keeps reading fuel-out as False
+    assert terminates(DIVERGENT, "main", [0], fuel=2_000) is False
+
+
+def test_halting_and_pruned_outcomes():
+    assert observe(HALTING, "main", [0]) is Outcome.HALTED
+    assert terminates(HALTING, "main", [0]) is True
+    assert observe(PRUNING, "main", [0]) is Outcome.PRUNED
+    assert terminates(PRUNING, "main", [0]) is None
+
+
+def test_wall_clock_bounds_slow_steps():
+    """Huge fuel, tiny deadline: the run must come back promptly as
+    FUEL_OUT instead of squaring million-digit integers for minutes."""
+    start = time.monotonic()
+    outcome = observe(
+        BIG_STEPS, "main", [], fuel=10_000_000, wall_clock=0.2
+    )
+    elapsed = time.monotonic() - start
+    assert outcome is Outcome.FUEL_OUT
+    # generous bound: deadline + one slow step + scheduling noise
+    assert elapsed < 10.0
+
+
+def test_wall_clock_spares_fast_runs():
+    assert (
+        observe(HALTING, "main", [0], wall_clock=10.0) is Outcome.HALTED
+    )
